@@ -1,0 +1,66 @@
+"""§5.2 — analytical evaluation, validated against the simulator.
+
+Reproduces the paper's two analytical tables:
+
+* §5.2.1 message counts — modular (n-1)(M + 2 + ⌊(n+1)/2⌋) vs
+  monolithic 2(n-1); for n=3, M=4 that is 16 vs 4 messages.
+* §5.2.2 data volumes — overhead (n-1)/(n+1): 50 % (n=3), 75 % (n=7).
+
+The benchmarks time a steady-state validation run per stack and assert
+the simulator's wire counters match the closed forms.
+"""
+
+import pytest
+
+from repro.analysis.model import (
+    compare,
+    modularity_data_overhead,
+)
+from repro.config import StackKind
+from repro.experiments.tables import validate_stack
+
+
+def test_analytical_formulas_paper_numbers(benchmark):
+    def evaluate():
+        return [compare(n, 4, 16384) for n in (3, 7)]
+
+    rows = benchmark(evaluate)
+    n3, n7 = rows
+    assert n3.modular_messages == 16 and n3.monolithic_messages == 4
+    assert n7.modular_messages == 60 and n7.monolithic_messages == 12
+    assert n3.data_overhead == pytest.approx(0.50)
+    assert n7.data_overhead == pytest.approx(0.75)
+
+
+@pytest.mark.parametrize("n", [3, 7])
+@pytest.mark.parametrize("stack", [StackKind.MODULAR, StackKind.MONOLITHIC])
+def test_simulator_matches_section_52(benchmark, n, stack):
+    row = benchmark.pedantic(
+        lambda: validate_stack(
+            n, stack, message_size=2048, offered_load=4000.0, duration=0.6
+        ),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    assert row.message_error < 0.08, (
+        f"{stack.value} n={n}: {row.measured_messages:.2f} measured vs "
+        f"{row.predicted_messages:.2f} predicted msgs/consensus"
+    )
+    assert row.payload_error < 0.15
+
+
+def test_measured_data_overhead(benchmark):
+    def measure():
+        modular = validate_stack(
+            3, StackKind.MODULAR, message_size=8192, offered_load=4000.0, duration=0.6
+        )
+        mono = validate_stack(
+            3, StackKind.MONOLITHIC, message_size=8192, offered_load=4000.0, duration=0.6
+        )
+        per_modular = modular.measured_payload_bytes / modular.measured_m
+        per_mono = mono.measured_payload_bytes / mono.measured_m
+        return (per_modular - per_mono) / per_mono
+
+    overhead = benchmark.pedantic(measure, rounds=2, iterations=1, warmup_rounds=0)
+    assert overhead == pytest.approx(modularity_data_overhead(3), abs=0.12)

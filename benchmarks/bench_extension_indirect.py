@@ -1,0 +1,81 @@
+"""Extension bench — indirect consensus (the paper's related-work [12]).
+
+Ekwall & Schiper's "indirect consensus" keeps the modular reduction but
+has consensus order message *ids*; payloads travel only in the diffusion
+step. The paper cites it as the technique that significantly improved
+modular-stack performance. This bench measures, inside our calibrated
+model, what the idea buys over the paper's (direct) modular stack at a
+byte-bound operating point — and verifies the §5.2-style data claim:
+the modular stack's data per consensus drops from ~2(n-1)·M·l to
+~(n-1)·M·l, i.e. *below* the monolithic stack's (n-1)(1+1/n)·M·l.
+"""
+
+import pytest
+
+from repro.config import (
+    ConsensusVariant,
+    RunConfig,
+    StackConfig,
+    StackKind,
+    WorkloadConfig,
+)
+from repro.experiments.runner import run_simulation
+
+LOAD = 4000.0
+SIZE = 16384
+
+
+def _config(consensus: ConsensusVariant) -> RunConfig:
+    return RunConfig(
+        n=3,
+        stack=StackConfig(kind=StackKind.MODULAR, consensus=consensus),
+        workload=WorkloadConfig(offered_load=LOAD, message_size=SIZE),
+        duration=0.6,
+        warmup=0.3,
+    )
+
+
+def test_indirect_consensus_beats_direct_modular(benchmark):
+    indirect = benchmark.pedantic(
+        lambda: run_simulation(_config(ConsensusVariant.INDIRECT), seed=1),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    direct = run_simulation(_config(ConsensusVariant.OPTIMIZED), seed=1)
+    assert indirect.metrics.throughput > direct.metrics.throughput
+    assert indirect.metrics.latency_mean < direct.metrics.latency_mean
+    # The message COUNT is unchanged (same reduction, same flows)...
+    assert indirect.messages_per_consensus == pytest.approx(
+        direct.messages_per_consensus, rel=0.02
+    )
+    # ...but the data volume roughly halves: proposals carry ids only.
+    assert (
+        indirect.payload_bytes_per_consensus
+        < 0.6 * direct.payload_bytes_per_consensus
+    )
+
+
+def test_indirect_data_volume_beats_even_the_monolith(benchmark):
+    indirect = benchmark.pedantic(
+        lambda: run_simulation(_config(ConsensusVariant.INDIRECT), seed=1),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    mono = run_simulation(
+        RunConfig(
+            n=3,
+            stack=StackConfig(kind=StackKind.MONOLITHIC),
+            workload=WorkloadConfig(offered_load=LOAD, message_size=SIZE),
+            duration=0.6,
+            warmup=0.3,
+        ),
+        seed=1,
+    )
+    per_message_indirect = (
+        indirect.payload_bytes_per_consensus / indirect.delivered_per_consensus
+    )
+    per_message_mono = mono.payload_bytes_per_consensus / mono.delivered_per_consensus
+    # (n-1)·l  <  (n-1)(1+1/n)·l
+    assert per_message_indirect < per_message_mono

@@ -1,0 +1,59 @@
+"""Extension bench — what does consensus-based fault tolerance cost?
+
+Beyond the paper: compares both of the paper's stacks against a fixed
+sequencer, the classic non-fault-tolerant total-order baseline from the
+Ensemble/Appia architecture family the related-work section mentions.
+
+Findings encoded below:
+
+* at n = 3 the sequencer beats both stacks — the gap to the monolithic
+  stack is the price of tolerating crashes at all, and the further gap
+  to the modular stack is the paper's cost of modularity;
+* at n = 7 the monolithic stack *overtakes* the sequencer: ordering
+  M = 4 messages per consensus amortizes fixed costs over batches,
+  which the message-at-a-time sequencer cannot do. Batching, not
+  protocol-step count, dominates at scale.
+"""
+
+import pytest
+
+from repro.config import StackKind
+from repro.experiments.runner import run_simulation
+
+from benchmarks.conftest import bench_config, run_benched
+
+LOAD = 7000.0
+SIZE = 16384
+
+
+def test_sequencer_bounds_both_stacks_at_n3(benchmark):
+    sequencer = run_benched(
+        benchmark, bench_config(3, StackKind.SEQUENCER, LOAD, SIZE)
+    )
+    mono = run_simulation(bench_config(3, StackKind.MONOLITHIC, LOAD, SIZE), seed=1)
+    modular = run_simulation(bench_config(3, StackKind.MODULAR, LOAD, SIZE), seed=1)
+    assert sequencer.metrics.throughput > mono.metrics.throughput
+    assert mono.metrics.throughput > modular.metrics.throughput
+    assert sequencer.metrics.latency_mean < modular.metrics.latency_mean
+
+
+def test_batched_consensus_overtakes_sequencer_at_n7(benchmark):
+    sequencer = run_benched(
+        benchmark, bench_config(7, StackKind.SEQUENCER, LOAD, SIZE)
+    )
+    mono = run_simulation(bench_config(7, StackKind.MONOLITHIC, LOAD, SIZE), seed=1)
+    modular = run_simulation(bench_config(7, StackKind.MODULAR, LOAD, SIZE), seed=1)
+    # Batching (M=4 per consensus) beats message-at-a-time sequencing...
+    assert mono.metrics.throughput > sequencer.metrics.throughput
+    # ...but the modular stack's per-message overheads still lose to it.
+    assert sequencer.metrics.throughput > modular.metrics.throughput
+
+
+@pytest.mark.parametrize("n", [3, 7])
+def test_cost_of_fault_tolerance_is_bounded(benchmark, n):
+    sequencer = run_benched(
+        benchmark, bench_config(n, StackKind.SEQUENCER, LOAD, SIZE)
+    )
+    mono = run_simulation(bench_config(n, StackKind.MONOLITHIC, LOAD, SIZE), seed=1)
+    ratio = sequencer.metrics.throughput / mono.metrics.throughput
+    assert 0.5 < ratio < 3.0

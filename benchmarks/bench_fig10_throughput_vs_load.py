@@ -1,0 +1,46 @@
+"""Figure 10 — throughput vs offered load (message size 16384 B).
+
+Paper result: throughput equals the offered load at low loads, reaches a
+flow-control plateau as load grows, and at high offered load the
+monolithic stack sustains 25 % (n = 7) to 30 % (n = 3) more messages
+per second than the modular one.
+"""
+
+import pytest
+
+from repro.config import StackKind
+from repro.experiments.runner import run_simulation
+
+from benchmarks.conftest import bench_config, run_benched
+
+HIGH_LOAD = 7000.0
+LOW_LOAD = 300.0
+SIZE = 16384
+
+
+@pytest.mark.parametrize("n", [3, 7])
+def test_fig10_high_load_throughput_gap(pair_runner, n):
+    modular, mono = pair_runner(n, HIGH_LOAD, SIZE)
+    gain = mono.metrics.throughput / modular.metrics.throughput - 1.0
+    # Paper: +25-30 %. The simulator reproduces n=3 closely; at n=7 the
+    # purely coordinator-bound model amplifies the gap (EXPERIMENTS.md).
+    if n == 3:
+        assert 0.15 <= gain <= 0.50, f"n=3 gain {gain:.0%}"
+    else:
+        assert gain >= 0.25, f"n=7 gain {gain:.0%}"
+
+
+@pytest.mark.parametrize("kind", [StackKind.MODULAR, StackKind.MONOLITHIC])
+def test_fig10_throughput_equals_offered_load_when_light(benchmark, kind):
+    result = run_benched(benchmark, bench_config(3, kind, LOW_LOAD, SIZE))
+    assert result.metrics.throughput == pytest.approx(LOW_LOAD, rel=0.1)
+
+
+@pytest.mark.parametrize("kind", [StackKind.MODULAR, StackKind.MONOLITHIC])
+def test_fig10_plateau_under_flow_control(benchmark, kind):
+    at_4000 = run_benched(benchmark, bench_config(3, kind, 4000.0, SIZE))
+    at_7000 = run_simulation(bench_config(3, kind, HIGH_LOAD, SIZE), seed=1)
+    assert at_7000.metrics.throughput < HIGH_LOAD * 0.5  # saturated
+    ratio = at_7000.metrics.throughput / at_4000.metrics.throughput
+    assert 0.8 <= ratio <= 1.25  # plateau
+    assert at_7000.metrics.blocked_attempts > 0

@@ -1,0 +1,51 @@
+"""Figure 8 — early latency vs offered load (message size 16384 B).
+
+Paper result: latency of both stacks is close at low loads; as load
+grows the monolithic stack's early latency is 30 % (n = 7) to 50 %
+(n = 3) lower, and both curves plateau under flow control.
+
+Each benchmark runs the modular stack at one figure-8 operating point
+(the monolithic twin runs outside the timer) and asserts the latency
+relation; ``python -m repro figure8`` prints the full series.
+"""
+
+import pytest
+
+from repro.config import StackKind
+from repro.experiments.runner import run_simulation
+
+from benchmarks.conftest import bench_config, run_benched
+
+HIGH_LOAD = 7000.0
+LOW_LOAD = 300.0
+SIZE = 16384
+
+
+@pytest.mark.parametrize("n", [3, 7])
+def test_fig8_high_load_latency_gap(pair_runner, n):
+    modular, mono = pair_runner(n, HIGH_LOAD, SIZE)
+    assert modular.metrics.latency_mean is not None
+    assert mono.metrics.latency_mean is not None
+    gap = 1.0 - mono.metrics.latency_mean / modular.metrics.latency_mean
+    # Paper: 30-50 % lower; accept the simulator's 25-65 % band.
+    assert 0.25 <= gap <= 0.65, f"latency gap {gap:.0%} outside expected band"
+
+
+@pytest.mark.parametrize("kind", [StackKind.MODULAR, StackKind.MONOLITHIC])
+def test_fig8_latency_rises_then_plateaus(benchmark, kind):
+    high = run_benched(benchmark, bench_config(3, kind, HIGH_LOAD, SIZE))
+    low = run_simulation(bench_config(3, kind, LOW_LOAD, SIZE), seed=1)
+    very_high = run_simulation(bench_config(3, kind, 5000.0, SIZE), seed=1)
+    assert low.metrics.latency_mean < high.metrics.latency_mean
+    # Plateau: the last two loads agree within 25 %.
+    ratio = high.metrics.latency_mean / very_high.metrics.latency_mean
+    assert 0.75 <= ratio <= 1.33
+
+
+def test_fig8_stacks_close_at_low_load(benchmark):
+    modular = run_benched(
+        benchmark, bench_config(3, StackKind.MODULAR, LOW_LOAD, SIZE)
+    )
+    mono = run_simulation(bench_config(3, StackKind.MONOLITHIC, LOW_LOAD, SIZE), seed=1)
+    ratio = modular.metrics.latency_mean / mono.metrics.latency_mean
+    assert ratio < 2.0  # "relatively close for small offered loads"

@@ -1,0 +1,51 @@
+"""Figure 9 — early latency vs message size (offered load 2000 msg/s).
+
+Paper result: the monolithic stack's latency is ~50 % lower for small
+messages; as size grows, per-byte costs take over and the gap narrows to
+25 % (n = 7) / 35 % (n = 3); latency is flat for small sizes and rises
+with large ones.
+"""
+
+import pytest
+
+from repro.config import StackKind
+from repro.experiments.runner import run_simulation
+
+from benchmarks.conftest import bench_config, run_benched
+
+LOAD = 2000.0
+SMALL, MEDIUM, LARGE = 64, 4096, 32768
+
+
+@pytest.mark.parametrize("n", [3, 7])
+def test_fig9_small_message_latency_gap(pair_runner, n):
+    modular, mono = pair_runner(n, LOAD, SMALL)
+    gap = 1.0 - mono.metrics.latency_mean / modular.metrics.latency_mean
+    # Paper: ~50 % lower at small sizes.
+    assert gap >= 0.40, f"small-size latency gap only {gap:.0%}"
+
+
+@pytest.mark.parametrize("n", [3, 7])
+def test_fig9_gap_narrows_for_large_messages(pair_runner, n):
+    modular, mono = pair_runner(n, LOAD, LARGE)
+    small_modular = run_simulation(
+        bench_config(n, StackKind.MODULAR, LOAD, SMALL), seed=1
+    )
+    small_mono = run_simulation(
+        bench_config(n, StackKind.MONOLITHIC, LOAD, SMALL), seed=1
+    )
+    gap_large = 1.0 - mono.metrics.latency_mean / modular.metrics.latency_mean
+    gap_small = 1.0 - small_mono.metrics.latency_mean / small_modular.metrics.latency_mean
+    assert gap_large < gap_small
+    assert gap_large >= 0.15
+
+
+@pytest.mark.parametrize("kind", [StackKind.MODULAR, StackKind.MONOLITHIC])
+def test_fig9_latency_flat_then_rising(benchmark, kind):
+    small = run_benched(benchmark, bench_config(3, kind, LOAD, SMALL))
+    medium = run_simulation(bench_config(3, kind, LOAD, MEDIUM), seed=1)
+    large = run_simulation(bench_config(3, kind, LOAD, LARGE), seed=1)
+    # Flat-ish up to a few KiB...
+    assert medium.metrics.latency_mean < 2.5 * small.metrics.latency_mean
+    # ...then clearly rising at 32 KiB.
+    assert large.metrics.latency_mean > 1.5 * medium.metrics.latency_mean

@@ -1,0 +1,63 @@
+"""Shared helpers for the benchmark suite.
+
+Each bench file regenerates one of the paper's evaluation artifacts
+(Figs. 8-11, the §5.2 analytical tables, and the §4 ablation) at a
+reduced-but-representative scale, measures its wall-clock cost with
+pytest-benchmark, and asserts the paper's qualitative result on the
+simulated metrics. The full-resolution tables are produced by
+``python -m repro <figureN|analysis|ablation>``; EXPERIMENTS.md records
+those against the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import RunConfig, StackConfig, StackKind, WorkloadConfig
+from repro.experiments.runner import RunResult, run_simulation
+
+#: Simulated seconds per benchmarked run (short but past warm-up).
+BENCH_DURATION = 0.6
+BENCH_WARMUP = 0.3
+
+
+def bench_config(
+    n: int, kind: StackKind, offered_load: float, message_size: int
+) -> RunConfig:
+    """A representative run configuration for benchmarking."""
+    return RunConfig(
+        n=n,
+        stack=StackConfig(kind=kind),
+        workload=WorkloadConfig(
+            offered_load=offered_load, message_size=message_size
+        ),
+        duration=BENCH_DURATION,
+        warmup=BENCH_WARMUP,
+    )
+
+
+def run_benched(benchmark, config: RunConfig) -> RunResult:
+    """Benchmark one deterministic simulation run and return its result."""
+    return benchmark.pedantic(
+        lambda: run_simulation(config, seed=1),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+
+
+@pytest.fixture
+def pair_runner(benchmark):
+    """Runs the modular stack under the benchmark and the monolithic twin
+    outside it, returning both results for gap assertions."""
+
+    def run(n: int, offered_load: float, message_size: int):
+        modular = run_benched(
+            benchmark, bench_config(n, StackKind.MODULAR, offered_load, message_size)
+        )
+        mono = run_simulation(
+            bench_config(n, StackKind.MONOLITHIC, offered_load, message_size), seed=1
+        )
+        return modular, mono
+
+    return run

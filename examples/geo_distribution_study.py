@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Does the cost of modularity survive a WAN? (beyond the paper)
+
+The paper's cluster had ~60 µs links, so processing dominated. This
+study uses the per-pair propagation matrix to place one replica across
+a WAN link (p0, p1 share a LAN; p2 is remote) and compares both stacks
+as the WAN delay grows.
+
+Two effects emerge, and neither is the naive "everything gets slower":
+
+1. **Quorum masking.** Both stacks need only a majority (2 of 3), and
+   the coordinator's majority is the LAN pair — early latency barely
+   moves even at 50 ms WAN delay, and the modularity gap (which lives in
+   LAN-side processing) persists almost unchanged.
+2. **Flow-control starvation of the remote replica.** p2's window slots
+   recycle only after a WAN round trip, so its *own* messages throttle
+   to a trickle (watch the per-sender delivery counts); total throughput
+   drops by roughly p2's share while the LAN pair is unaffected.
+
+Usage::
+
+    python examples/geo_distribution_study.py
+"""
+
+from repro import (
+    NetworkConfig,
+    RunConfig,
+    WorkloadConfig,
+    modular_stack,
+    monolithic_stack,
+)
+from repro.experiments.runner import Simulation
+
+LAN_DELAY = 60e-6
+
+
+def wan_matrix(wan_delay: float) -> tuple[tuple[float, ...], ...]:
+    """p0 and p1 share a LAN; p2 sits across a WAN link."""
+    return (
+        (0.0, LAN_DELAY, wan_delay),
+        (LAN_DELAY, 0.0, wan_delay),
+        (wan_delay, wan_delay, 0.0),
+    )
+
+
+def run_one(stack, wan_delay_s: float):
+    config = RunConfig(
+        n=3,
+        stack=stack,
+        workload=WorkloadConfig(offered_load=2000.0, message_size=1024),
+        network=NetworkConfig(propagation_matrix=wan_matrix(wan_delay_s)),
+        duration=1.2,
+        warmup=0.5,
+    )
+    sim = Simulation(config, seed=1)
+    per_sender = [0, 0, 0]
+
+    def count(pid, message, time):
+        if pid == 0:  # one observer's view of the total order
+            per_sender[message.msg_id.sender] += 1
+
+    sim.add_adeliver_listener(count)
+    result = sim.run()
+    return result.metrics, per_sender
+
+
+def main() -> None:
+    print("3 replicas, 2000 msgs/s offered, 1 KiB messages; p2 across a WAN\n")
+    header = (
+        f"{'WAN':>8} {'stack':>10} {'latency':>9} {'throughput':>11} "
+        f"{'delivered by p0/p1/p2':>24}"
+    )
+    print(header)
+    print("-" * len(header))
+    for wan_ms in (0.06, 5.0, 50.0):
+        gaps = {}
+        for label, stack in (
+            ("modular", modular_stack()),
+            ("monolithic", monolithic_stack()),
+        ):
+            metrics, per_sender = run_one(stack, wan_ms * 1e-3)
+            gaps[label] = metrics.latency_mean
+            counts = "/".join(str(c) for c in per_sender)
+            print(
+                f"{wan_ms:6.2f}ms {label:>10} {metrics.latency_mean * 1e3:7.2f}ms "
+                f"{metrics.throughput:9.0f}/s {counts:>24}"
+            )
+        gap = 100 * (1 - gaps["monolithic"] / gaps["modular"])
+        print(f"{'':8} -> modularity latency penalty: {gap:.0f}%\n")
+    print("Quorum masking keeps latency flat; flow control starves the")
+    print("remote replica; and the cost of modularity — a LAN-side")
+    print("processing effect — survives the WAN intact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""A replicated key-value store built on atomic broadcast.
+
+The paper motivates atomic broadcast as the enabling protocol for
+replicating a service consistently ("maintain replicas consistency by
+ensuring a total order of message delivery", §1). This example builds
+exactly that: every replica abcasts its clients' write commands; the
+total order makes every replica apply the same writes in the same
+sequence, so all stores converge despite concurrent writers on every
+node — and the example verifies it, byte for byte, on both stacks.
+
+Usage::
+
+    python examples/replicated_kv_store.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import (
+    AppMessage,
+    MessageId,
+    RunConfig,
+    WorkloadConfig,
+    modular_stack,
+    monolithic_stack,
+)
+from repro.experiments.runner import Simulation
+from repro.stack.events import AbcastRequest
+
+
+@dataclass(frozen=True)
+class SetCommand:
+    """A client write: store[key] = value."""
+
+    key: str
+    value: int
+
+    @property
+    def wire_size(self) -> int:
+        return len(self.key) + 8
+
+
+class Replica:
+    """One replica: a local dict updated only by adelivered commands."""
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.store: dict[str, int] = {}
+        self.applied: list[MessageId] = []
+
+    def apply(self, message: AppMessage) -> None:
+        command: SetCommand = message.payload
+        self.store[command.key] = command.value
+        self.applied.append(message.msg_id)
+
+
+def run_store(stack, label: str) -> None:
+    config = RunConfig(
+        n=3,
+        stack=stack,
+        # The workload generator is replaced by explicit client commands.
+        workload=WorkloadConfig(offered_load=1.0, message_size=64),
+        duration=1.0,
+        warmup=0.0,
+    )
+    sim = Simulation(config, seed=7, with_workload=False)
+    replicas = [Replica(pid) for pid in range(config.n)]
+    sim.add_adeliver_listener(
+        lambda pid, message, time: replicas[pid].apply(message)
+    )
+
+    # Three concurrent writers, each hammering the same keys from a
+    # different replica: only a total order keeps the stores identical.
+    rng = sim.kernel.rng.stream("clients")
+    keys = [f"key-{i}" for i in range(5)]
+    sequence_numbers = [0, 0, 0]
+
+    def client_write(pid: int) -> None:
+        runtime = sim.runtimes[pid]
+        if not runtime.alive:
+            return
+        command = SetCommand(rng.choice(keys), rng.randrange(1_000_000))
+        message = AppMessage(
+            msg_id=MessageId(pid, sequence_numbers[pid]),
+            size=command.wire_size,
+            abcast_time=sim.kernel.now,
+            payload=command,
+        )
+        sequence_numbers[pid] += 1
+        runtime.inject(AbcastRequest(message))
+
+    for pid in range(config.n):
+        for i in range(40):
+            sim.kernel.schedule_at(0.01 + i * 0.02, lambda p=pid: client_write(p))
+
+    sim.start()
+    sim.kernel.run(until=2.0)
+
+    stores = [replica.store for replica in replicas]
+    orders = [replica.applied for replica in replicas]
+    assert orders[0] == orders[1] == orders[2], "replicas diverged!"
+    assert stores[0] == stores[1] == stores[2], "stores diverged!"
+    print(
+        f"{label:>10}: {len(orders[0])} writes applied in the same order on "
+        f"all 3 replicas; {len(stores[0])} keys, identical contents "
+        f"(e.g. {sorted(stores[0].items())[0]})"
+    )
+
+
+def main() -> None:
+    print("Replicated key-value store over atomic broadcast (3 replicas,")
+    print("3 concurrent writers, 120 conflicting writes):\n")
+    run_store(modular_stack(), "modular")
+    run_store(monolithic_stack(), "monolithic")
+    print("\nBoth stacks give the same guarantee; the paper's point is")
+    print("what the modular one pays for it. Run quickstart.py to see.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Atomic broadcast — the paper's primary contribution, in both shapes.
+
+:class:`~repro.abcast.modular.ModularAtomicBroadcast` composes with the
+consensus and reliable broadcast modules (Fig. 1 left);
+:class:`~repro.abcast.monolithic.MonolithicAtomicBroadcast` merges all
+three protocols and applies the §4 optimizations (Fig. 1 right).
+"""
+
+from repro.abcast.factory import build_stack
+from repro.abcast.indirect import IdBatch, IndirectModularAtomicBroadcast
+from repro.abcast.messages import (
+    AckWithDiffusion,
+    CombinedProposal,
+    Forward,
+    JoinRound,
+    RbDecision,
+)
+from repro.abcast.modular import GUARD_TIMER, ModularAtomicBroadcast
+from repro.abcast.monolithic import MonolithicAtomicBroadcast
+from repro.abcast.sequencer import SequencerAtomicBroadcast
+
+__all__ = [
+    "GUARD_TIMER",
+    "IdBatch",
+    "IndirectModularAtomicBroadcast",
+    "AckWithDiffusion",
+    "CombinedProposal",
+    "Forward",
+    "JoinRound",
+    "ModularAtomicBroadcast",
+    "MonolithicAtomicBroadcast",
+    "SequencerAtomicBroadcast",
+    "RbDecision",
+    "build_stack",
+]

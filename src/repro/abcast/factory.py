@@ -1,0 +1,59 @@
+"""Builds the module list of either stack from a :class:`StackConfig`."""
+
+from __future__ import annotations
+
+from repro.abcast.indirect import IndirectModularAtomicBroadcast
+from repro.abcast.modular import ModularAtomicBroadcast
+from repro.abcast.monolithic import MonolithicAtomicBroadcast
+from repro.abcast.sequencer import SequencerAtomicBroadcast
+from repro.broadcast.reliable import ReliableBroadcast
+from repro.config import ConsensusVariant, StackConfig, StackKind
+from repro.consensus.chandra_toueg import TextbookConsensus
+from repro.consensus.optimized import OptimizedConsensus
+from repro.errors import ConfigurationError
+from repro.stack.module import Microprotocol, ModuleContext
+
+
+def build_stack(
+    config: StackConfig,
+    ctx: ModuleContext,
+    *,
+    max_batch: int | None = None,
+) -> list[Microprotocol]:
+    """Instantiate the protocol modules of one process, top to bottom.
+
+    The modular stack is the paper's Fig. 1 (left): abcast over consensus
+    over reliable broadcast, three separately composed modules. The
+    monolithic stack (Fig. 1, right) is a single merged module.
+
+    Args:
+        config: Which stack and which protocol variants to build.
+        ctx: The process's module context.
+        max_batch: Flow-control cap on messages ordered per consensus
+            (see :class:`~repro.config.FlowControlConfig`).
+    """
+    if config.kind is StackKind.MONOLITHIC:
+        return [
+            MonolithicAtomicBroadcast(ctx, config.optimizations, max_batch=max_batch)
+        ]
+    if config.kind is StackKind.SEQUENCER:
+        return [SequencerAtomicBroadcast(ctx)]
+    if config.kind is StackKind.MODULAR:
+        if config.consensus is ConsensusVariant.TEXTBOOK:
+            consensus: Microprotocol = TextbookConsensus(ctx)
+        else:
+            consensus = OptimizedConsensus(ctx)
+        if config.consensus is ConsensusVariant.INDIRECT:
+            abcast: Microprotocol = IndirectModularAtomicBroadcast(
+                ctx, guard_timeout=config.guard_timeout, max_batch=max_batch
+            )
+        else:
+            abcast = ModularAtomicBroadcast(
+                ctx, guard_timeout=config.guard_timeout, max_batch=max_batch
+            )
+        return [
+            abcast,
+            consensus,
+            ReliableBroadcast(ctx, variant=config.rbcast),
+        ]
+    raise ConfigurationError(f"unknown stack kind {config.kind!r}")

@@ -1,0 +1,90 @@
+"""Wire payloads specific to the monolithic stack (paper §4, Fig. 6).
+
+The monolithic module merges atomic broadcast, consensus and reliable
+broadcast, which lets it combine logically distinct messages into single
+transmissions:
+
+* :class:`CombinedProposal` — "proposal k + decision k-1" (§4.1),
+* :class:`AckWithDiffusion` — "ack + diffusion" (§4.2),
+* :class:`Forward` — abcast messages sent straight to the coordinator
+  when no consensus is in flight to piggyback on,
+* :class:`RbDecision` — the relay-emulated decision broadcast used only
+  when the §4.3 optimization is ablated away,
+* :class:`JoinRound` — a bad-run hint that a round change is underway,
+  so every correct process contributes an estimate to the new
+  coordinator (needed for majorities with n ≥ 5 after the initial
+  coordinator crashes at an otherwise idle group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.messages import Ack, DecisionTag, Proposal
+from repro.stack.events import message_wire_size
+from repro.types import AppMessage
+
+
+@dataclass(frozen=True, slots=True)
+class CombinedProposal:
+    """§4.1: the round-1 proposal of instance k, optionally carrying the
+    decision of instance k-1 as a piggybacked tag."""
+
+    proposal: Proposal
+    decided: DecisionTag | None = None
+
+    @property
+    def wire_size(self) -> int:
+        size = self.proposal.wire_size
+        if self.decided is not None:
+            size += 16  # the piggybacked (instance, round) tag
+        return size
+
+
+@dataclass(frozen=True, slots=True)
+class AckWithDiffusion:
+    """§4.2: an ack carrying the sender's pending abcast messages."""
+
+    ack: Ack
+    messages: tuple[AppMessage, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        return self.ack.wire_size + sum(message_wire_size(m) for m in self.messages)
+
+
+@dataclass(frozen=True, slots=True)
+class Forward:
+    """Pending abcast messages sent to the coordinator outside any ack
+    (used when the group is idle, so there is no ack to ride)."""
+
+    messages: tuple[AppMessage, ...]
+
+    @property
+    def wire_size(self) -> int:
+        return 8 + sum(message_wire_size(m) for m in self.messages)
+
+
+@dataclass(frozen=True, slots=True)
+class RbDecision:
+    """Decision tag wrapped for the relay-emulated reliable broadcast
+    (ablation of §4.3 only)."""
+
+    tag: DecisionTag
+    origin: int
+
+    @property
+    def wire_size(self) -> int:
+        return self.tag.wire_size + 8
+
+
+@dataclass(frozen=True, slots=True)
+class JoinRound:
+    """Round-change hint broadcast alongside estimates in bad runs."""
+
+    instance: int
+    round: int
+
+    @property
+    def wire_size(self) -> int:
+        return 16

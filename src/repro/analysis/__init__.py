@@ -1,0 +1,35 @@
+"""Analytical models: the paper's §5.2 closed forms plus a design-time
+performance predictor pricing full consensus executions against the
+cost model."""
+
+from repro.analysis.performance_model import (
+    ModularityPrediction,
+    StackPrediction,
+    predict_gap,
+    predict_modular,
+    predict_monolithic,
+)
+from repro.analysis.model import (
+    AnalyticalComparison,
+    compare,
+    modular_data_per_consensus,
+    modular_messages_per_consensus,
+    modularity_data_overhead,
+    monolithic_data_per_consensus,
+    monolithic_messages_per_consensus,
+)
+
+__all__ = [
+    "AnalyticalComparison",
+    "ModularityPrediction",
+    "StackPrediction",
+    "predict_gap",
+    "predict_modular",
+    "predict_monolithic",
+    "compare",
+    "modular_data_per_consensus",
+    "modular_messages_per_consensus",
+    "modularity_data_overhead",
+    "monolithic_data_per_consensus",
+    "monolithic_messages_per_consensus",
+]

@@ -1,0 +1,118 @@
+"""Closed-form analytical evaluation (paper §5.2).
+
+The paper analyzes, per consensus execution (= per M adelivered
+messages, under load high enough that instance k+1 starts directly
+after k):
+
+* the number of messages sent on the network (§5.2.1), and
+* the total amount of data sent (§5.2.2), assuming control messages are
+  negligible and every abcast message has size l.
+
+These functions are the exact formulas of the paper; the test suite
+additionally validates them against the simulator's network counters in
+steady-state good runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def _validate(n: int, messages_per_consensus: float | None = None) -> None:
+    if n < 2:
+        raise ConfigurationError(f"group size must be >= 2, got {n}")
+    if messages_per_consensus is not None and messages_per_consensus <= 0:
+        raise ConfigurationError(
+            f"messages per consensus must be positive, got {messages_per_consensus}"
+        )
+
+
+def modular_messages_per_consensus(n: int, messages_per_consensus: float) -> float:
+    """§5.2.1, modular stack: ``(n-1)(M + 2 + ⌊(n+1)/2⌋)`` messages.
+
+    M diffusions to n-1 processes each, one proposal and one ack per
+    non-coordinator, plus the reliable broadcast of the decision.
+    """
+    _validate(n, messages_per_consensus)
+    return (n - 1) * (messages_per_consensus + 2 + (n + 1) // 2)
+
+
+def monolithic_messages_per_consensus(n: int) -> float:
+    """§5.2.1, monolithic stack: ``2(n-1)`` messages.
+
+    One combined proposal+decision to each non-coordinator and one
+    ack+diffusion back, independent of M.
+    """
+    _validate(n)
+    return 2.0 * (n - 1)
+
+
+def modular_data_per_consensus(
+    n: int, messages_per_consensus: float, message_size: int
+) -> float:
+    """§5.2.2, modular stack: ``2(n-1)·M·l`` bytes.
+
+    Each of the M abcast messages is diffused to n-1 processes, then the
+    proposal (of size M·l) is sent to the n-1 non-coordinators.
+    """
+    _validate(n, messages_per_consensus)
+    return 2.0 * (n - 1) * messages_per_consensus * message_size
+
+
+def monolithic_data_per_consensus(
+    n: int, messages_per_consensus: float, message_size: int
+) -> float:
+    """§5.2.2, monolithic stack: ``(n-1)(1 + 1/n)·M·l`` bytes.
+
+    Each non-coordinator piggybacks M/n messages on its ack; the
+    coordinator then ships the M-message proposal to n-1 processes.
+    """
+    _validate(n, messages_per_consensus)
+    return (n - 1) * (1.0 + 1.0 / n) * messages_per_consensus * message_size
+
+
+def modularity_data_overhead(n: int) -> float:
+    """§5.2.2: data overhead of modular over monolithic = ``(n-1)/(n+1)``.
+
+    50 % for n = 3 and 75 % for n = 7, the paper's headline analytical
+    numbers.
+    """
+    _validate(n)
+    return (n - 1) / (n + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyticalComparison:
+    """One row of the paper's analytical evaluation for a given (n, M, l)."""
+
+    n: int
+    messages_per_consensus: float
+    message_size: int
+    modular_messages: float
+    monolithic_messages: float
+    modular_data: float
+    monolithic_data: float
+    data_overhead: float
+
+    @property
+    def message_ratio(self) -> float:
+        """How many times more messages the modular stack sends."""
+        return self.modular_messages / self.monolithic_messages
+
+
+def compare(n: int, messages_per_consensus: float, message_size: int) -> AnalyticalComparison:
+    """Evaluate every §5.2 formula for one configuration."""
+    return AnalyticalComparison(
+        n=n,
+        messages_per_consensus=messages_per_consensus,
+        message_size=message_size,
+        modular_messages=modular_messages_per_consensus(n, messages_per_consensus),
+        monolithic_messages=monolithic_messages_per_consensus(n),
+        modular_data=modular_data_per_consensus(n, messages_per_consensus, message_size),
+        monolithic_data=monolithic_data_per_consensus(
+            n, messages_per_consensus, message_size
+        ),
+        data_overhead=modularity_data_overhead(n),
+    )

@@ -1,0 +1,19 @@
+"""Reliable broadcast protocols (the paper's RBcast module, §3.1)."""
+
+from repro.broadcast.reliable import (
+    RB_CONTROL_OVERHEAD,
+    RbMessage,
+    ReliableBroadcast,
+    classical_message_count,
+    majority_message_count,
+    relay_set,
+)
+
+__all__ = [
+    "RB_CONTROL_OVERHEAD",
+    "RbMessage",
+    "ReliableBroadcast",
+    "classical_message_count",
+    "majority_message_count",
+    "relay_set",
+]

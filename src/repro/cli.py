@@ -1,0 +1,157 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro figure8            # early latency vs offered load
+    python -m repro figure9            # early latency vs message size
+    python -m repro figure10           # throughput vs offered load
+    python -m repro figure11           # throughput vs message size
+    python -m repro figures            # all four (sharing sweeps)
+    python -m repro analysis           # §5.2 analytical tables + validation
+    python -m repro ablation           # per-optimization ablation (§4)
+    python -m repro predict            # design-time performance prediction
+    python -m repro all                # everything above
+
+``--fast`` uses a reduced grid and a single seed (seconds instead of
+minutes); ``--seeds N`` controls the ensemble size; ``--csv DIR`` also
+writes each regenerated figure's data as CSV into DIR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.performance_model import predict_gap
+from repro.experiments.ablation import ablation_table, run_ablation
+from repro.experiments.export import write_sweep_csv
+from repro.experiments.figures import (
+    FigureReport,
+    all_figures,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+)
+from repro.experiments.report import format_table
+from repro.experiments.tables import analytical_table, validation_table
+
+COMMANDS = (
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figures",
+    "analysis",
+    "ablation",
+    "predict",
+    "all",
+)
+
+
+def prediction_table(
+    group_sizes: tuple[int, ...] = (3, 7),
+    sizes: tuple[int, ...] = (64, 1024, 16384),
+) -> str:
+    """Design-time saturation-throughput predictions (no simulation)."""
+    headers = ["n", "size (B)", "T modular (msg/s)", "T monolithic (msg/s)", "gain"]
+    rows = []
+    for n in group_sizes:
+        for size in sizes:
+            gap = predict_gap(n, 4, size)
+            rows.append(
+                [
+                    str(n),
+                    str(size),
+                    f"{gap.modular.saturation_throughput:.0f}",
+                    f"{gap.monolithic.saturation_throughput:.0f}",
+                    f"+{100 * gap.throughput_gain:.0f}%",
+                ]
+            )
+    return format_table(headers, rows)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the experiments of 'On the Cost of Modularity in "
+            "Atomic Broadcast' (Rütti et al., DSN 2007)."
+        ),
+    )
+    parser.add_argument("command", choices=COMMANDS)
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced parameter grid and a single seed",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="number of seeds per point (default: 3, or 1 with --fast)",
+    )
+    parser.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write each regenerated figure's data as CSV into DIR",
+    )
+    return parser
+
+
+def _maybe_export(report: FigureReport, csv_dir: Path | None) -> None:
+    if csv_dir is None:
+        return
+    csv_dir.mkdir(parents=True, exist_ok=True)
+    name = report.figure.lower().replace(" ", "")
+    target = csv_dir / f"{name}.csv"
+    write_sweep_csv(report.sweep, target)
+    print(f"[csv] wrote {target}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    seeds = tuple(range(1, args.seeds + 1)) if args.seeds else None
+
+    def emit(text: object) -> None:
+        print(text)
+        print()
+
+    command = args.command
+    if command in ("figure8", "figure9", "figure10", "figure11"):
+        figure_fn = {
+            "figure8": figure8,
+            "figure9": figure9,
+            "figure10": figure10,
+            "figure11": figure11,
+        }[command]
+        report = figure_fn(fast=args.fast, seeds=seeds)
+        emit(report)
+        _maybe_export(report, args.csv)
+    if command in ("figures", "all"):
+        for report in all_figures(fast=args.fast, seeds=seeds):
+            emit(report)
+            _maybe_export(report, args.csv)
+    if command in ("predict", "all"):
+        print("Design-time prediction (no simulation; repro.analysis.predict_gap):")
+        emit(prediction_table())
+    if command in ("analysis", "all"):
+        print("Analytical evaluation (paper §5.2):")
+        emit(analytical_table())
+        print("Simulator validation (measured vs closed-form, steady state):")
+        emit(validation_table())
+    if command in ("ablation", "all"):
+        print("Ablation of the monolithic optimizations (n=3, 16 KiB, loaded):")
+        rows = run_ablation(seeds=(1,) if args.fast else (1, 2))
+        emit(ablation_table(rows))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,349 @@
+"""Configuration dataclasses for stacks, workloads and runs.
+
+All knobs of a simulation live here, in frozen dataclasses, so that a run
+is fully described by one :class:`RunConfig` value plus a seed. The
+defaults are calibrated against the paper's testbed (Pentium 4 @ 3.2 GHz,
+Sun JVM 1.5, Gigabit Ethernet, TCP transport) — see EXPERIMENTS.md for
+the calibration rationale and the resulting paper-vs-measured tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import ConfigurationError
+
+
+class StackKind(enum.Enum):
+    """Which atomic broadcast implementation a run uses."""
+
+    #: The paper's modular composition (Fig. 1 left).
+    MODULAR = "modular"
+    #: The paper's merged module with the §4 optimizations (Fig. 1 right).
+    MONOLITHIC = "monolithic"
+    #: Extension baseline: fixed-sequencer ordering without consensus
+    #: (good runs only; see :mod:`repro.abcast.sequencer`).
+    SEQUENCER = "sequencer"
+
+
+class ConsensusVariant(enum.Enum):
+    """Consensus algorithm variant used inside the modular stack."""
+
+    #: Good-run-optimized Chandra–Toueg (paper §3.2): round 1 skips the
+    #: estimate phase, later rounds start only on suspicion, decisions are
+    #: rbcast as a small DECISION tag.
+    OPTIMIZED = "optimized"
+    #: Textbook Chandra–Toueg with all four phases in every round; kept as
+    #: an ablation baseline (the paper's modular stack is the optimized one).
+    TEXTBOOK = "textbook"
+    #: Extension: indirect consensus (the paper's related-work [12],
+    #: Ekwall & Schiper DSN 2006) — consensus orders message *ids*; the
+    #: payloads travel only in the diffusion step, halving the modular
+    #: stack's data volume. See :mod:`repro.abcast.indirect`.
+    INDIRECT = "indirect"
+
+
+class ReliableBroadcastVariant(enum.Enum):
+    """Reliable broadcast variant used to diffuse consensus decisions."""
+
+    #: Majority-relay optimization (paper §3.1): (n-1)(⌊(n-1)/2⌋+1) msgs.
+    MAJORITY = "majority"
+    #: Classical echo broadcast: every first reception is re-sent to all.
+    CLASSICAL = "classical"
+
+
+class ArrivalProcess(enum.Enum):
+    """Inter-arrival law of the symmetric workload generators."""
+
+    #: Constant spacing with a random initial phase per process (the
+    #: paper's "constant rate r" workload).
+    UNIFORM = "uniform"
+    #: Poisson arrivals at the same mean rate, for sensitivity studies.
+    POISSON = "poisson"
+
+
+class FailureDetectorKind(enum.Enum):
+    """Failure detector implementation."""
+
+    #: Omniscient detector: suspects a process a fixed delay after its
+    #: actual crash, never wrongly. Used for the performance experiments
+    #: so FD traffic does not perturb good-run measurements.
+    ORACLE = "oracle"
+    #: Heartbeat-based eventually-strong detector exchanging real network
+    #: messages; used by the fault-tolerance tests and examples.
+    HEARTBEAT = "heartbeat"
+    #: Fully scripted suspicions, for deterministic unit tests.
+    SCRIPTED = "scripted"
+
+
+@dataclass(frozen=True, slots=True)
+class CpuCosts:
+    """Per-operation CPU service times (seconds) of a simulated process.
+
+    Calibrated to the paper's era (Sun JVM 1.5 on a 3.2 GHz Pentium 4):
+    per-message fixed costs around 150 µs (TCP syscalls plus Java object
+    serialization setup), per-byte costs around 12 ns (~80 MB/s object
+    (de)serialization), and a per-module-boundary dispatch cost for the
+    composition framework. See EXPERIMENTS.md for the calibration
+    rationale and paper-vs-measured tables.
+    """
+
+    #: Cost of invoking any protocol handler (event dispatch).
+    dispatch: float = 25e-6
+    #: Extra cost per module boundary a message or event crosses in the
+    #: composed (modular) stack. This is the mechanical Cactus overhead.
+    boundary_crossing: float = 50e-6
+    #: Fixed cost of pushing one message to the transport (syscall, TCP,
+    #: object serialization setup in the JVM).
+    send_fixed: float = 150e-6
+    #: Fixed cost of receiving one message from the transport.
+    recv_fixed: float = 150e-6
+    #: Marshalling cost per payload byte, paid ONCE per distinct payload
+    #: (~50 MB/s, JVM-era object serialization). A broadcast of the same
+    #: payload to n-1 destinations serializes once.
+    serialize_per_byte: float = 12e-9
+    #: Copy cost per byte per destination (kernel/TCP buffer copies).
+    send_per_byte: float = 2e-9
+    #: Unmarshalling cost per payload byte received (every receiver
+    #: deserializes independently).
+    recv_per_byte: float = 12e-9
+    #: Cost of handing one adelivered message to the application.
+    adeliver: float = 10e-6
+
+    def send_cost(self, wire_size: int, *, first_copy: bool = True) -> float:
+        """CPU seconds to send a message of *wire_size* bytes.
+
+        Args:
+            wire_size: Bytes put on the wire.
+            first_copy: Whether this send serializes the payload (False
+                for the 2nd..nth destination of a broadcast, which reuse
+                the serialized buffer).
+        """
+        cost = self.send_fixed + self.send_per_byte * wire_size
+        if first_copy:
+            cost += self.serialize_per_byte * wire_size
+        return cost
+
+    def recv_cost(self, wire_size: int) -> float:
+        """CPU seconds to receive a message of *wire_size* bytes."""
+        return self.recv_fixed + self.recv_per_byte * wire_size
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkConfig:
+    """Link-level model of the paper's switched Gigabit Ethernet."""
+
+    #: Effective per-NIC transmit bandwidth in bytes/second. Nominal
+    #: GbE is 125 MB/s; 2007-era TCP stacks sustained ~0.8 of that.
+    bandwidth: float = 100e6
+    #: One-way propagation + switching delay in seconds (uniform LAN).
+    propagation: float = 60e-6
+    #: Optional per-pair one-way delays overriding :attr:`propagation`:
+    #: ``propagation_matrix[src][dst]`` seconds. Lets experiments place
+    #: processes across a WAN (see the geo-distribution example); must be
+    #: an n×n structure when used with a group of size n.
+    propagation_matrix: tuple[tuple[float, ...], ...] | None = None
+    #: Bytes of Ethernet + IP + TCP framing per message.
+    base_header: int = 66
+    #: Bytes of framing added by each protocol module a message traverses
+    #: (Cactus-style stacked headers).
+    per_module_header: int = 16
+
+    def delay(self, src: int, dst: int) -> float:
+        """One-way propagation delay from *src* to *dst*."""
+        if self.propagation_matrix is None:
+            return self.propagation
+        return self.propagation_matrix[src][dst]
+
+
+@dataclass(frozen=True, slots=True)
+class FlowControlConfig:
+    """The paper's backlog-window flow control (§5.1).
+
+    Each process may have at most :attr:`window` of its own abcast
+    messages accepted but not yet locally adelivered; further abcast
+    events block. With the default window the system orders M ≈ 4
+    messages per consensus near saturation, the value the paper reports
+    as optimal for both stacks.
+    """
+
+    window: int = 3
+    #: Maximum number of messages ordered by one consensus execution
+    #: (proposal batch cap). The paper's flow control "ensures that, on
+    #: average, M = 4 messages are ordered per consensus execution" and
+    #: reports M = 4 as optimal for both stacks; the cap is how we pin
+    #: the same operating point. ``None`` removes the cap.
+    max_batch: int | None = 4
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ConfigurationError(f"flow-control window must be >= 1: {self.window}")
+        if self.max_batch is not None and self.max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1: {self.max_batch}")
+
+
+@dataclass(frozen=True, slots=True)
+class FailureDetectorConfig:
+    """Failure-detection parameters."""
+
+    kind: FailureDetectorKind = FailureDetectorKind.ORACLE
+    #: Oracle: delay between a crash and its detection by every process.
+    detection_delay: float = 0.2
+    #: Heartbeat: period between heartbeats.
+    heartbeat_interval: float = 0.05
+    #: Heartbeat: silence after which a process is suspected.
+    timeout: float = 0.25
+
+
+@dataclass(frozen=True, slots=True)
+class MonolithicOptimizations:
+    """Ablation switches for the three §4 optimizations.
+
+    All enabled reproduces the paper's monolithic stack; disabling all
+    three degrades it to (roughly) the modular message pattern while
+    keeping the merged-module dispatch cost, which isolates the
+    *algorithmic* gain from the *mechanical* gain in the ablation bench.
+    """
+
+    #: §4.1 — piggyback decision of consensus k on proposal of k+1.
+    combine_decision_with_proposal: bool = True
+    #: §4.2 — send abcast messages only to the coordinator, piggybacked
+    #: on ack messages, instead of diffusing them to everyone.
+    piggyback_on_ack: bool = True
+    #: §4.3 — replace the majority reliable broadcast of decisions with a
+    #: plain send-to-all acknowledged by consensus k+1 traffic.
+    cheap_decision_broadcast: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class StackConfig:
+    """Which stack to build and with which variants."""
+
+    kind: StackKind = StackKind.MODULAR
+    consensus: ConsensusVariant = ConsensusVariant.OPTIMIZED
+    rbcast: ReliableBroadcastVariant = ReliableBroadcastVariant.MAJORITY
+    #: §3.3 correctness guard: a process holding undelivered messages
+    #: starts a consensus after this many seconds even if nothing new
+    #: arrives (protects against senders that crash mid-diffusion).
+    guard_timeout: float = 0.5
+    optimizations: MonolithicOptimizations = field(
+        default_factory=MonolithicOptimizations
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadConfig:
+    """The paper's symmetric workload (§5.1).
+
+    All *n* processes abcast messages of fixed size ``message_size`` at a
+    constant rate; the global rate is the offered load ``T_offered``.
+    """
+
+    #: Global abcast attempt rate in messages/second across all processes.
+    offered_load: float = 1000.0
+    #: Payload size ``s`` of every abcast message, in bytes.
+    message_size: int = 1024
+    arrival: ArrivalProcess = ArrivalProcess.UNIFORM
+
+    def __post_init__(self) -> None:
+        if self.offered_load <= 0:
+            raise ConfigurationError(
+                f"offered load must be positive: {self.offered_load}"
+            )
+        if self.message_size < 0:
+            raise ConfigurationError(
+                f"message size must be non-negative: {self.message_size}"
+            )
+
+    def per_process_rate(self, n: int) -> float:
+        """Abcast rate of each individual process."""
+        return self.offered_load / n
+
+
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """Scripted crash of one process at a point in simulated time."""
+
+    time: float
+    process: int
+
+
+@dataclass(frozen=True, slots=True)
+class FaultloadConfig:
+    """Faults injected during a run. Empty = the paper's "good runs"."""
+
+    crashes: tuple[CrashEvent, ...] = ()
+
+    def crashed_processes(self) -> frozenset[int]:
+        """Set of processes that crash at some point in the run."""
+        return frozenset(crash.process for crash in self.crashes)
+
+
+@dataclass(frozen=True, slots=True)
+class RunConfig:
+    """Complete description of one simulation run (modulo the seed)."""
+
+    #: Group size. The paper evaluates n = 3 and n = 7.
+    n: int = 3
+    stack: StackConfig = field(default_factory=StackConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    flow_control: FlowControlConfig = field(default_factory=FlowControlConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    cpu_costs: CpuCosts = field(default_factory=CpuCosts)
+    failure_detector: FailureDetectorConfig = field(
+        default_factory=FailureDetectorConfig
+    )
+    faultload: FaultloadConfig = field(default_factory=FaultloadConfig)
+    #: Simulated seconds measured after warm-up.
+    duration: float = 2.0
+    #: Simulated seconds discarded at the start (stack fills its pipeline
+    #: and the flow-control window reaches its stationary occupancy).
+    warmup: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ConfigurationError(f"need at least 2 processes, got n={self.n}")
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be positive: {self.duration}")
+        if self.warmup < 0:
+            raise ConfigurationError(f"warmup must be non-negative: {self.warmup}")
+        for crash in self.faultload.crashes:
+            if not 0 <= crash.process < self.n:
+                raise ConfigurationError(
+                    f"crash targets unknown process {crash.process} (n={self.n})"
+                )
+        majority_faulty = len(self.faultload.crashed_processes()) >= (self.n + 1) // 2
+        if majority_faulty:
+            raise ConfigurationError(
+                "faultload crashes a majority of processes; consensus (and the "
+                "majority reliable broadcast) require a correct majority"
+            )
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated seconds including warm-up."""
+        return self.warmup + self.duration
+
+    def with_changes(self, **changes: Any) -> "RunConfig":
+        """Return a copy with the given top-level fields replaced."""
+        return replace(self, **changes)
+
+
+def modular_stack(
+    consensus: ConsensusVariant = ConsensusVariant.OPTIMIZED,
+    rbcast: ReliableBroadcastVariant = ReliableBroadcastVariant.MAJORITY,
+) -> StackConfig:
+    """Convenience constructor for the paper's modular stack."""
+    return StackConfig(kind=StackKind.MODULAR, consensus=consensus, rbcast=rbcast)
+
+
+def monolithic_stack(
+    optimizations: MonolithicOptimizations | None = None,
+) -> StackConfig:
+    """Convenience constructor for the paper's monolithic stack."""
+    return StackConfig(
+        kind=StackKind.MONOLITHIC,
+        optimizations=optimizations or MonolithicOptimizations(),
+    )

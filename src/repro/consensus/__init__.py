@@ -1,0 +1,36 @@
+"""Consensus protocols (the paper's Consensus module, §3.2).
+
+Rotating-coordinator Chandra–Toueg consensus in two flavours: the
+good-run-optimized variant used by the paper's modular stack, and the
+textbook variant kept as an ablation baseline.
+"""
+
+from repro.consensus.base import RECOVERY_RETRY_DELAY, BaseConsensus
+from repro.consensus.chandra_toueg import TextbookConsensus
+from repro.consensus.instance import InstanceState, coordinator_of_round
+from repro.consensus.messages import (
+    CONTROL_OVERHEAD,
+    Ack,
+    DecisionTag,
+    DecisionValue,
+    Estimate,
+    Proposal,
+    RecoveryRequest,
+)
+from repro.consensus.optimized import OptimizedConsensus
+
+__all__ = [
+    "CONTROL_OVERHEAD",
+    "RECOVERY_RETRY_DELAY",
+    "Ack",
+    "BaseConsensus",
+    "DecisionTag",
+    "DecisionValue",
+    "Estimate",
+    "InstanceState",
+    "OptimizedConsensus",
+    "Proposal",
+    "RecoveryRequest",
+    "TextbookConsensus",
+    "coordinator_of_round",
+]

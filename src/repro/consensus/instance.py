@@ -1,0 +1,77 @@
+"""Per-instance state of the rotating-coordinator consensus algorithm."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.types import Batch
+
+
+def coordinator_of_round(round_number: int, n: int) -> int:
+    """Rotating coordinator: round r is coordinated by ``(r-1) mod n``.
+
+    Round 1 of *every* instance is coordinated by process 0 — the fact
+    the monolithic stack's §4.1 optimization exploits (the decider of
+    instance k is the first-round coordinator of instance k+1).
+    """
+    if round_number < 1:
+        raise ValueError(f"rounds are 1-based, got {round_number}")
+    return (round_number - 1) % n
+
+
+@dataclass
+class InstanceState:
+    """Mutable state of one consensus instance at one process."""
+
+    instance: int
+    n: int
+    #: Current round at this process (1-based, advances on suspicion or
+    #: on receiving a proposal from a later round).
+    round: int = 1
+    #: Current estimate (None until this process proposes or adopts one).
+    estimate: Batch | None = None
+    #: Round in which the estimate was last adopted from a proposal.
+    ts: int = 0
+    #: Proposals received (or sent, at coordinators), by round.
+    proposals: dict[int, Batch] = field(default_factory=dict)
+    #: Rounds for which this process (as coordinator) sent a proposal.
+    proposal_sent_rounds: set[int] = field(default_factory=set)
+    #: Ack senders per round (coordinator bookkeeping; includes self).
+    acks: dict[int, set[int]] = field(default_factory=dict)
+    #: Estimates received per round: round -> sender -> (ts, value).
+    estimates: dict[int, dict[int, tuple[int, Batch]]] = field(default_factory=dict)
+    #: The decided value, once known.
+    decided: Batch | None = None
+    #: Whether this process (as coordinator) already broadcast a decision.
+    decision_sent: bool = False
+    #: Whether a recovery request is outstanding for a decision tag.
+    awaiting_recovery_round: int | None = None
+
+    def coordinator(self, round_number: int | None = None) -> int:
+        """Coordinator of *round_number* (default: the current round)."""
+        return coordinator_of_round(
+            self.round if round_number is None else round_number, self.n
+        )
+
+    def record_estimate(self, round_number: int, sender: int, ts: int, value: Batch) -> None:
+        """Store an estimate received for *round_number*."""
+        self.estimates.setdefault(round_number, {})[sender] = (ts, value)
+
+    def best_estimate(self, round_number: int) -> Batch:
+        """The estimate with the largest timestamp for *round_number*.
+
+        For timestamps ≥ 1 all tied estimates carry the same value (at
+        most one proposal exists per round), so tie-breaks cannot affect
+        the decided value. Timestamp-0 ties are genuine initial values
+        and are broken in favour of larger batches (so pending messages
+        win over empty estimates — a liveness concern after the initial
+        coordinator crashes), then by sender id for determinism.
+        """
+        received = self.estimates.get(round_number, {})
+        if not received:
+            raise ValueError(f"no estimates recorded for round {round_number}")
+        __, __, best_sender = max(
+            (ts_value[0], len(ts_value[1]), sender)
+            for sender, ts_value in received.items()
+        )
+        return received[best_sender][1]

@@ -1,0 +1,100 @@
+"""Wire payloads of the consensus protocol (§3.2).
+
+Every payload carries the instance number ``k`` (the reduction runs a
+sequence of consensus instances) and, where relevant, the round ``r``.
+Decisions travel through the reliable broadcast module below consensus:
+as a small :class:`DecisionTag` in the optimized variant (the paper's
+"tag DECISION" optimization) or as the full :class:`DecisionValue` in
+the textbook variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stack.events import batch_wire_size
+from repro.types import Batch
+
+#: Modelled bytes of consensus control information (instance, round, type).
+CONTROL_OVERHEAD = 24
+
+
+@dataclass(frozen=True, slots=True)
+class Estimate:
+    """Phase-1 message: a process's current estimate, sent to the round
+    coordinator (only in rounds ≥ 2 for the optimized variant)."""
+
+    instance: int
+    round: int
+    value: Batch
+    ts: int
+
+    @property
+    def wire_size(self) -> int:
+        return batch_wire_size(self.value) + CONTROL_OVERHEAD
+
+
+@dataclass(frozen=True, slots=True)
+class Proposal:
+    """Phase-2 message: the coordinator's proposed value for a round."""
+
+    instance: int
+    round: int
+    value: Batch
+
+    @property
+    def wire_size(self) -> int:
+        return batch_wire_size(self.value) + CONTROL_OVERHEAD
+
+
+@dataclass(frozen=True, slots=True)
+class Ack:
+    """Phase-3 message: acknowledgment of a round's proposal."""
+
+    instance: int
+    round: int
+
+    @property
+    def wire_size(self) -> int:
+        return CONTROL_OVERHEAD
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionTag:
+    """Optimized decision: names the deciding round instead of carrying
+    the value (receivers look the value up in the round's proposal)."""
+
+    instance: int
+    round: int
+
+    @property
+    def wire_size(self) -> int:
+        return CONTROL_OVERHEAD
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionValue:
+    """Full decision value; used by the textbook variant and by the
+    recovery path of the tag optimization."""
+
+    instance: int
+    value: Batch
+
+    @property
+    def wire_size(self) -> int:
+        return batch_wire_size(self.value) + CONTROL_OVERHEAD
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryRequest:
+    """Sent by a process that rdelivered a :class:`DecisionTag` without
+    holding the corresponding round's proposal (possible only if the
+    coordinator crashed; see §3.2 — "additional communication steps may
+    be required if the coordinator crashes")."""
+
+    instance: int
+    round: int
+
+    @property
+    def wire_size(self) -> int:
+        return CONTROL_OVERHEAD

@@ -1,0 +1,99 @@
+"""Ablation study of the three monolithic optimizations (§4.1–§4.3).
+
+Goes beyond the paper: the paper reports only the full monolithic stack
+against the full modular stack; this experiment toggles each §4
+optimization individually (and all together) to attribute the gain, with
+the modular stack as the reference point. DESIGN.md lists this as the
+design-choice ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (
+    MonolithicOptimizations,
+    RunConfig,
+    StackKind,
+    WorkloadConfig,
+    modular_stack,
+    monolithic_stack,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_simulation
+from repro.metrics.stats import mean
+
+#: The ablation variants, in presentation order.
+VARIANTS: tuple[tuple[str, MonolithicOptimizations | None], ...] = (
+    ("modular (reference)", None),
+    ("mono, no optimizations", MonolithicOptimizations(False, False, False)),
+    ("mono, only §4.1 combine", MonolithicOptimizations(True, False, False)),
+    ("mono, only §4.2 piggyback", MonolithicOptimizations(False, True, False)),
+    ("mono, only §4.3 cheap-rb", MonolithicOptimizations(False, False, True)),
+    ("mono, all (paper)", MonolithicOptimizations(True, True, True)),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AblationRow:
+    """Measured performance of one ablation variant."""
+
+    label: str
+    latency_ms: float
+    throughput: float
+    messages_per_consensus: float
+
+
+def run_ablation(
+    *,
+    n: int = 3,
+    offered_load: float = 4000.0,
+    message_size: int = 16384,
+    seeds: tuple[int, ...] = (1, 2),
+    duration: float = 1.0,
+) -> list[AblationRow]:
+    """Run every variant at one (loaded) operating point of Fig. 8."""
+    rows = []
+    for label, opts in VARIANTS:
+        if opts is None:
+            stack = modular_stack()
+        else:
+            stack = monolithic_stack(opts)
+        config = RunConfig(
+            n=n,
+            stack=stack,
+            workload=WorkloadConfig(
+                offered_load=offered_load, message_size=message_size
+            ),
+            duration=duration,
+            warmup=0.4,
+        )
+        runs = [run_simulation(config, seed=seed) for seed in seeds]
+        rows.append(
+            AblationRow(
+                label=label,
+                latency_ms=mean(
+                    [r.metrics.latency_mean * 1e3 for r in runs if r.metrics.latency_mean]
+                ),
+                throughput=mean([r.metrics.throughput for r in runs]),
+                messages_per_consensus=mean(
+                    [r.messages_per_consensus or 0.0 for r in runs]
+                ),
+            )
+        )
+    return rows
+
+
+def ablation_table(rows: list[AblationRow]) -> str:
+    """Render ablation rows as an aligned text table."""
+    headers = ["variant", "latency (ms)", "throughput (msgs/s)", "msgs/consensus"]
+    body = [
+        [
+            row.label,
+            f"{row.latency_ms:.2f}",
+            f"{row.throughput:.0f}",
+            f"{row.messages_per_consensus:.1f}",
+        ]
+        for row in rows
+    ]
+    return format_table(headers, body)

@@ -1,0 +1,178 @@
+"""Cost-model calibration against measured targets.
+
+The simulator's fidelity hangs on the :class:`~repro.config.CpuCosts`
+values. This module turns calibration from hand-tuning into a
+procedure: declare the operating points you know (e.g. the paper's
+"modular stack at n=3, 7000 msg/s, 16 KiB does ~730 msg/s"), and
+:func:`calibrate` fits the chosen cost parameters by log-space
+coordinate descent, each evaluation being a short deterministic
+simulation.
+
+This is how the defaults in ``repro.config`` were refined, and how a
+user with their *own* testbed measurements would retarget the simulator
+to a different era of hardware.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.config import CpuCosts, RunConfig, StackConfig, StackKind, WorkloadConfig
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_simulation
+
+#: CpuCosts fields the optimizer may adjust.
+TUNABLE_PARAMETERS = (
+    "dispatch",
+    "boundary_crossing",
+    "send_fixed",
+    "recv_fixed",
+    "serialize_per_byte",
+    "send_per_byte",
+    "recv_per_byte",
+    "adeliver",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationTarget:
+    """One known operating point the model should reproduce."""
+
+    n: int
+    stack: StackKind
+    offered_load: float
+    message_size: int
+    #: ``"throughput"`` (msgs/s) or ``"latency"`` (seconds).
+    metric: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.metric not in ("throughput", "latency"):
+            raise ConfigurationError(f"unknown target metric {self.metric!r}")
+        if self.value <= 0:
+            raise ConfigurationError(f"target value must be positive: {self.value}")
+
+
+@dataclass(frozen=True, slots=True)
+class CalibrationResult:
+    """Outcome of a calibration run."""
+
+    costs: CpuCosts
+    error: float
+    initial_error: float
+    #: (parameter, factor, error) per accepted move, in order.
+    history: tuple[tuple[str, float, float], ...]
+
+    @property
+    def improved(self) -> bool:
+        return self.error < self.initial_error
+
+
+def measure_target(
+    target: CalibrationTarget,
+    costs: CpuCosts,
+    *,
+    base: RunConfig | None = None,
+    seed: int = 1,
+) -> float:
+    """Simulate one target's operating point under *costs*."""
+    base = base or RunConfig(duration=0.5, warmup=0.25)
+    config = base.with_changes(
+        n=target.n,
+        stack=StackConfig(kind=target.stack),
+        workload=WorkloadConfig(
+            offered_load=target.offered_load, message_size=target.message_size
+        ),
+        cpu_costs=costs,
+    )
+    result = run_simulation(config, seed=seed)
+    if target.metric == "throughput":
+        return result.metrics.throughput
+    latency = result.metrics.latency_mean
+    if latency is None:
+        raise ConfigurationError(
+            f"target {target} produced no latency samples; lengthen the run"
+        )
+    return latency
+
+
+def configuration_error(
+    costs: CpuCosts,
+    targets: list[CalibrationTarget],
+    *,
+    base: RunConfig | None = None,
+    seed: int = 1,
+) -> float:
+    """Mean absolute log-ratio between measured and target values.
+
+    Log-space errors weight "2x too fast" and "2x too slow" equally and
+    make metrics of different magnitudes commensurable.
+    """
+    if not targets:
+        raise ConfigurationError("calibration needs at least one target")
+    total = 0.0
+    for target in targets:
+        measured = measure_target(target, costs, base=base, seed=seed)
+        total += abs(math.log(max(measured, 1e-12) / target.value))
+    return total / len(targets)
+
+
+def calibrate(
+    targets: list[CalibrationTarget],
+    *,
+    initial: CpuCosts | None = None,
+    parameters: tuple[str, ...] = ("send_fixed", "recv_fixed"),
+    iterations: int = 3,
+    step: float = 1.5,
+    base: RunConfig | None = None,
+    seed: int = 1,
+) -> CalibrationResult:
+    """Fit *parameters* of the cost model to *targets*.
+
+    Multiplicative coordinate descent: each pass tries scaling every
+    chosen parameter by ``step`` and ``1/step``, keeping the best move;
+    the step shrinks geometrically between passes.
+
+    Args:
+        targets: Operating points to match.
+        initial: Starting cost model (default: library defaults).
+        parameters: Which :data:`TUNABLE_PARAMETERS` to adjust.
+        iterations: Coordinate-descent passes.
+        step: Initial multiplicative step (> 1).
+    """
+    for name in parameters:
+        if name not in TUNABLE_PARAMETERS:
+            raise ConfigurationError(f"{name!r} is not a tunable cost parameter")
+    if step <= 1.0:
+        raise ConfigurationError(f"step must exceed 1.0, got {step}")
+
+    costs = initial or CpuCosts()
+    error = configuration_error(costs, targets, base=base, seed=seed)
+    initial_error = error
+    history: list[tuple[str, float, float]] = []
+    current_step = step
+    for __ in range(iterations):
+        for name in parameters:
+            best_factor = 1.0
+            best_error = error
+            best_costs = costs
+            for factor in (current_step, 1.0 / current_step):
+                candidate = replace(costs, **{name: getattr(costs, name) * factor})
+                candidate_error = configuration_error(
+                    candidate, targets, base=base, seed=seed
+                )
+                if candidate_error < best_error:
+                    best_factor = factor
+                    best_error = candidate_error
+                    best_costs = candidate
+            if best_factor != 1.0:
+                costs, error = best_costs, best_error
+                history.append((name, best_factor, error))
+        current_step = 1.0 + (current_step - 1.0) / 2.0
+    return CalibrationResult(
+        costs=costs,
+        error=error,
+        initial_error=initial_error,
+        history=tuple(history),
+    )

@@ -1,0 +1,165 @@
+"""Reproduction drivers for the paper's four evaluation figures.
+
+Each ``figure*`` function runs the relevant sweep (or reuses one passed
+in — Figs. 8/10 share the load sweep and Figs. 9/11 share the size
+sweep, exactly as in the paper) and returns the figure as a text table
+plus headline gap lines.
+
+* **Figure 8** — early latency vs offered load, message size 16384 B.
+* **Figure 9** — early latency vs message size, offered load 2000 msg/s.
+* **Figure 10** — throughput vs offered load, message size 16384 B.
+* **Figure 11** — throughput vs message size, offered load 2000 msg/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.report import gap_summary, sweep_table
+from repro.experiments.sweeps import (
+    DEFAULT_SEEDS,
+    PAPER_LOADS,
+    PAPER_SIZES,
+    SweepResult,
+    run_load_sweep,
+    run_size_sweep,
+)
+
+#: Reduced parameters for quick regeneration (CLI ``--fast`` and benches).
+FAST_LOADS = (500, 1000, 2000, 4000, 7000)
+FAST_SIZES = (64, 1024, 4096, 16384, 32768)
+FAST_SEEDS = (1,)
+
+
+def _group_sizes(sweep: SweepResult) -> tuple[int, ...]:
+    """Group sizes actually present in a sweep (headline gaps adapt)."""
+    return tuple(sorted({p.n for p in sweep.points}))
+
+
+@dataclass(frozen=True, slots=True)
+class FigureReport:
+    """A regenerated figure: its data, rendering and headline gaps."""
+
+    figure: str
+    title: str
+    sweep: SweepResult
+    table: str
+    headlines: tuple[str, ...]
+
+    def __str__(self) -> str:
+        lines = [f"{self.figure}: {self.title}", "", self.table, ""]
+        lines.extend(self.headlines)
+        return "\n".join(lines)
+
+
+def _load_sweep(fast: bool, seeds: tuple[int, ...] | None) -> SweepResult:
+    return run_load_sweep(
+        loads=FAST_LOADS if fast else PAPER_LOADS,
+        seeds=seeds or (FAST_SEEDS if fast else DEFAULT_SEEDS),
+    )
+
+
+def _size_sweep(fast: bool, seeds: tuple[int, ...] | None) -> SweepResult:
+    return run_size_sweep(
+        sizes=FAST_SIZES if fast else PAPER_SIZES,
+        seeds=seeds or (FAST_SEEDS if fast else DEFAULT_SEEDS),
+    )
+
+
+def figure8(
+    sweep: SweepResult | None = None,
+    *,
+    fast: bool = False,
+    seeds: tuple[int, ...] | None = None,
+) -> FigureReport:
+    """Early latency vs offered load (abcast messages of 16384 bytes)."""
+    sweep = sweep or _load_sweep(fast, seeds)
+    high_load = max(p.x for p in sweep.points)
+    return FigureReport(
+        figure="Figure 8",
+        title="early latency (ms) vs offered load (msgs/s), size=16384",
+        sweep=sweep,
+        table=sweep_table(sweep, "latency", x_label="load"),
+        headlines=tuple(
+            gap_summary(sweep, "latency", high_load, n) for n in _group_sizes(sweep)
+        ),
+    )
+
+
+def figure9(
+    sweep: SweepResult | None = None,
+    *,
+    fast: bool = False,
+    seeds: tuple[int, ...] | None = None,
+) -> FigureReport:
+    """Early latency vs message size (offered load 2000 msgs/s)."""
+    sweep = sweep or _size_sweep(fast, seeds)
+    small = min(p.x for p in sweep.points)
+    large = max(p.x for p in sweep.points)
+    return FigureReport(
+        figure="Figure 9",
+        title="early latency (ms) vs message size (bytes), load=2000 msgs/s",
+        sweep=sweep,
+        table=sweep_table(sweep, "latency", x_label="size"),
+        headlines=tuple(
+            gap_summary(sweep, "latency", x, n)
+            for n in _group_sizes(sweep)
+            for x in (small, large)
+        ),
+    )
+
+
+def figure10(
+    sweep: SweepResult | None = None,
+    *,
+    fast: bool = False,
+    seeds: tuple[int, ...] | None = None,
+) -> FigureReport:
+    """Throughput vs offered load (abcast messages of 16384 bytes)."""
+    sweep = sweep or _load_sweep(fast, seeds)
+    high_load = max(p.x for p in sweep.points)
+    return FigureReport(
+        figure="Figure 10",
+        title="throughput (msgs/s) vs offered load (msgs/s), size=16384",
+        sweep=sweep,
+        table=sweep_table(sweep, "throughput", x_label="load"),
+        headlines=tuple(
+            gap_summary(sweep, "throughput", high_load, n)
+            for n in _group_sizes(sweep)
+        ),
+    )
+
+
+def figure11(
+    sweep: SweepResult | None = None,
+    *,
+    fast: bool = False,
+    seeds: tuple[int, ...] | None = None,
+) -> FigureReport:
+    """Throughput vs message size (offered load 2000 msgs/s)."""
+    sweep = sweep or _size_sweep(fast, seeds)
+    small = min(p.x for p in sweep.points)
+    large = max(p.x for p in sweep.points)
+    return FigureReport(
+        figure="Figure 11",
+        title="throughput (msgs/s) vs message size (bytes), load=2000 msgs/s",
+        sweep=sweep,
+        table=sweep_table(sweep, "throughput", x_label="size"),
+        headlines=tuple(
+            gap_summary(sweep, "throughput", x, n)
+            for n in _group_sizes(sweep)
+            for x in (small, large)
+        ),
+    )
+
+
+def all_figures(*, fast: bool = False, seeds: tuple[int, ...] | None = None) -> list[FigureReport]:
+    """Regenerate all four figures, sharing sweeps as the paper does."""
+    load_sweep = _load_sweep(fast, seeds)
+    size_sweep = _size_sweep(fast, seeds)
+    return [
+        figure8(load_sweep),
+        figure9(size_sweep),
+        figure10(load_sweep),
+        figure11(size_sweep),
+    ]

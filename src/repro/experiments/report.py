@@ -1,0 +1,91 @@
+"""Plain-text table rendering for figures and sweeps.
+
+The paper presents its evaluation as four line plots; we regenerate the
+same series as aligned text tables (one row per x value, one column per
+(group size, stack) curve), with 95 % confidence half-widths, suitable
+for terminals and for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.config import StackKind
+from repro.experiments.sweeps import PointSummary, SweepResult
+from repro.metrics.stats import ConfidenceInterval
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render an aligned plain-text table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_ci(ci: ConfidenceInterval, scale: float, unit_digits: int) -> str:
+    if ci.mean != ci.mean:  # NaN: no latency samples at this point
+        return "n/a"
+    return f"{ci.mean * scale:.{unit_digits}f}±{ci.half_width * scale:.{unit_digits}f}"
+
+
+def sweep_table(
+    sweep: SweepResult,
+    metric: str,
+    *,
+    x_label: str,
+    group_sizes: tuple[int, ...] = (3, 7),
+) -> str:
+    """One figure as a text table.
+
+    Args:
+        sweep: A load or size sweep result.
+        metric: ``"latency"`` (reported in ms) or ``"throughput"``
+            (reported in msgs/s).
+        x_label: Header of the swept-parameter column.
+        group_sizes: Which n curves to include.
+    """
+    if metric == "latency":
+        extract: Callable[[PointSummary], str] = lambda p: _format_ci(
+            p.latency, 1e3, 2
+        )
+    elif metric == "throughput":
+        extract = lambda p: _format_ci(p.throughput, 1.0, 0)
+    else:
+        raise ValueError(f"unknown metric {metric!r}")
+
+    headers = [x_label]
+    curves = []
+    for n in group_sizes:
+        for stack in (StackKind.MONOLITHIC, StackKind.MODULAR):
+            series = sweep.series(n, stack)
+            if series:
+                headers.append(f"n={n} {stack.value}")
+                curves.append({p.x: p for p in series})
+    xs = sorted({p.x for p in sweep.points})
+    rows = []
+    for x in xs:
+        row = [f"{x:g}"]
+        for curve in curves:
+            point = curve.get(x)
+            row.append(extract(point) if point is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def gap_summary(sweep: SweepResult, metric: str, x: float, n: int) -> str:
+    """One-line modular-vs-monolithic gap at a given point."""
+    modular = sweep.point(n, StackKind.MODULAR, x)
+    mono = sweep.point(n, StackKind.MONOLITHIC, x)
+    if metric == "latency":
+        gap = 100.0 * (1.0 - mono.latency.mean / modular.latency.mean)
+        return f"n={n}, x={x:g}: monolithic latency {gap:.0f}% lower than modular"
+    gap = 100.0 * (mono.throughput.mean / modular.throughput.mean - 1.0)
+    return f"n={n}, x={x:g}: monolithic throughput {gap:+.0f}% vs modular"

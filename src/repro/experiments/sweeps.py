@@ -1,0 +1,154 @@
+"""Parameter sweeps with seed ensembles and confidence intervals.
+
+The paper's evaluation varies two parameters — offered load (Figs. 8
+and 10) and message size (Figs. 9 and 11) — for each group size and
+stack, reporting means with 95 % confidence intervals. A sweep here runs
+every (n, stack, x) point with several seeds and reduces each to a
+:class:`PointSummary`; the figure emitters in
+:mod:`repro.experiments.figures` then select the latency or throughput
+column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.config import RunConfig, StackConfig, StackKind, WorkloadConfig
+from repro.experiments.runner import RunResult, run_simulation
+from repro.metrics.stats import ConfidenceInterval, mean_confidence_interval
+
+#: Offered loads of the paper's load sweeps (msgs/s), Figs. 8 and 10.
+PAPER_LOADS = (250, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000)
+#: Message sizes of the paper's size sweeps (bytes), Figs. 9 and 11.
+PAPER_SIZES = (64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+#: Group sizes the paper evaluates.
+PAPER_GROUP_SIZES = (3, 7)
+#: Fixed message size of the load sweeps.
+PAPER_LOAD_SWEEP_SIZE = 16384
+#: Fixed offered load of the size sweeps.
+PAPER_SIZE_SWEEP_LOAD = 2000.0
+#: Default seed ensemble (the paper averages several executions).
+DEFAULT_SEEDS = (1, 2, 3)
+
+
+@dataclass(frozen=True, slots=True)
+class PointSummary:
+    """Seed-ensemble summary of one sweep point."""
+
+    n: int
+    stack: StackKind
+    #: The swept parameter's value (offered load or message size).
+    x: float
+    latency: ConfidenceInterval
+    throughput: ConfidenceInterval
+    #: Measured messages ordered per consensus (paper's M), ensemble mean.
+    delivered_per_consensus: float | None
+    #: Whether every seed's run passed the stationarity check.
+    stationary: bool
+    runs: tuple[RunResult, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """All points of one sweep, indexed by (n, stack, x)."""
+
+    parameter: str
+    points: tuple[PointSummary, ...]
+
+    def series(self, n: int, stack: StackKind) -> tuple[PointSummary, ...]:
+        """The curve for one (group size, stack) pair, ordered by x."""
+        selected = [p for p in self.points if p.n == n and p.stack == stack]
+        return tuple(sorted(selected, key=lambda p: p.x))
+
+    def point(self, n: int, stack: StackKind, x: float) -> PointSummary:
+        """A single point; raises ``KeyError`` if absent."""
+        for p in self.points:
+            if p.n == n and p.stack == stack and p.x == x:
+                return p
+        raise KeyError(f"no sweep point (n={n}, stack={stack}, x={x})")
+
+
+def summarize_point(
+    n: int, stack: StackKind, x: float, runs: list[RunResult]
+) -> PointSummary:
+    """Reduce the seed ensemble of one point."""
+    latencies = [
+        r.metrics.latency_mean for r in runs if r.metrics.latency_mean is not None
+    ]
+    throughputs = [r.metrics.throughput for r in runs]
+    batch_sizes = [
+        r.delivered_per_consensus
+        for r in runs
+        if r.delivered_per_consensus is not None
+    ]
+    return PointSummary(
+        n=n,
+        stack=stack,
+        x=x,
+        latency=mean_confidence_interval(latencies or [float("nan")]),
+        throughput=mean_confidence_interval(throughputs),
+        delivered_per_consensus=(
+            sum(batch_sizes) / len(batch_sizes) if batch_sizes else None
+        ),
+        stationary=all(r.metrics.stationary for r in runs),
+        runs=tuple(runs),
+    )
+
+
+def _run_point(
+    base: RunConfig,
+    n: int,
+    stack: StackKind,
+    workload: WorkloadConfig,
+    x: float,
+    seeds: tuple[int, ...],
+) -> PointSummary:
+    config = base.with_changes(
+        n=n, stack=replace(base.stack, kind=stack), workload=workload
+    )
+    runs = [run_simulation(config, seed=seed) for seed in seeds]
+    return summarize_point(n, stack, x, runs)
+
+
+def run_load_sweep(
+    *,
+    loads: tuple[float, ...] = PAPER_LOADS,
+    message_size: int = PAPER_LOAD_SWEEP_SIZE,
+    group_sizes: tuple[int, ...] = PAPER_GROUP_SIZES,
+    stacks: tuple[StackKind, ...] = (StackKind.MODULAR, StackKind.MONOLITHIC),
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    base: RunConfig | None = None,
+) -> SweepResult:
+    """The sweep behind Figs. 8 and 10: vary offered load at fixed size."""
+    base = base or RunConfig()
+    points = []
+    for n in group_sizes:
+        for stack in stacks:
+            for load in loads:
+                workload = WorkloadConfig(
+                    offered_load=float(load), message_size=message_size
+                )
+                points.append(_run_point(base, n, stack, workload, float(load), seeds))
+    return SweepResult(parameter="offered_load", points=tuple(points))
+
+
+def run_size_sweep(
+    *,
+    sizes: tuple[int, ...] = PAPER_SIZES,
+    offered_load: float = PAPER_SIZE_SWEEP_LOAD,
+    group_sizes: tuple[int, ...] = PAPER_GROUP_SIZES,
+    stacks: tuple[StackKind, ...] = (StackKind.MODULAR, StackKind.MONOLITHIC),
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    base: RunConfig | None = None,
+) -> SweepResult:
+    """The sweep behind Figs. 9 and 11: vary message size at fixed load."""
+    base = base or RunConfig()
+    points = []
+    for n in group_sizes:
+        for stack in stacks:
+            for size in sizes:
+                workload = WorkloadConfig(
+                    offered_load=offered_load, message_size=size
+                )
+                points.append(_run_point(base, n, stack, workload, float(size), seeds))
+    return SweepResult(parameter="message_size", points=tuple(points))

@@ -1,0 +1,165 @@
+"""Reproduction of the paper's analytical evaluation (§5.2) as tables,
+with validation of the closed forms against the simulator's counters.
+
+Two artifacts:
+
+* :func:`analytical_table` — the §5.2 formulas evaluated for the paper's
+  configurations (message counts, data volumes, the (n-1)/(n+1)
+  overhead).
+* :func:`validation_table` — steady-state good runs of both stacks whose
+  *measured* per-consensus message counts and payload volumes are put
+  next to the formulas' predictions, using the measured M. This is the
+  experiment showing the simulator actually sends what the paper counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.model import (
+    compare,
+    modular_data_per_consensus,
+    modular_messages_per_consensus,
+    monolithic_data_per_consensus,
+    monolithic_messages_per_consensus,
+)
+from repro.config import RunConfig, StackKind, WorkloadConfig, modular_stack, monolithic_stack
+from repro.experiments.report import format_table
+from repro.experiments.runner import RunResult, run_simulation
+
+
+def analytical_table(
+    group_sizes: tuple[int, ...] = (3, 7),
+    messages_per_consensus: float = 4,
+    message_size: int = 16384,
+) -> str:
+    """The paper's §5.2 numbers for the given configurations."""
+    headers = [
+        "n",
+        "M",
+        "msgs modular",
+        "msgs monolithic",
+        "data modular (B)",
+        "data monolithic (B)",
+        "overhead",
+    ]
+    rows = []
+    for n in group_sizes:
+        c = compare(n, messages_per_consensus, message_size)
+        rows.append(
+            [
+                str(n),
+                f"{messages_per_consensus:g}",
+                f"{c.modular_messages:.0f}",
+                f"{c.monolithic_messages:.0f}",
+                f"{c.modular_data:.0f}",
+                f"{c.monolithic_data:.0f}",
+                f"{100 * c.data_overhead:.0f}%",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationRow:
+    """Measured vs predicted per-consensus costs for one stack."""
+
+    n: int
+    stack: StackKind
+    measured_m: float
+    measured_messages: float
+    predicted_messages: float
+    measured_payload_bytes: float
+    predicted_payload_bytes: float
+    run: RunResult
+
+    @property
+    def message_error(self) -> float:
+        """Relative error of the §5.2.1 message-count prediction."""
+        return abs(self.measured_messages - self.predicted_messages) / max(
+            self.predicted_messages, 1e-9
+        )
+
+    @property
+    def payload_error(self) -> float:
+        """Relative error of the §5.2.2 data-volume prediction."""
+        return abs(self.measured_payload_bytes - self.predicted_payload_bytes) / max(
+            self.predicted_payload_bytes, 1e-9
+        )
+
+
+def validate_stack(
+    n: int,
+    stack: StackKind,
+    *,
+    message_size: int = 16384,
+    offered_load: float = 4000.0,
+    seed: int = 1,
+    duration: float = 1.0,
+) -> ValidationRow:
+    """Run one stack at saturation and compare counters with §5.2.
+
+    The predictions take the *measured* M as input (the formulas are
+    per-consensus-of-M-messages); the §5.2.2 data formulas count only
+    abcast payload bytes, which is what the network's payload counter
+    tracks net of the per-message metadata overhead.
+    """
+    stack_config = (
+        modular_stack() if stack is StackKind.MODULAR else monolithic_stack()
+    )
+    config = RunConfig(
+        n=n,
+        stack=stack_config,
+        workload=WorkloadConfig(offered_load=offered_load, message_size=message_size),
+        duration=duration,
+        warmup=0.4,
+    )
+    run = run_simulation(config, seed=seed)
+    measured_m = run.delivered_per_consensus or 0.0
+    if stack is StackKind.MODULAR:
+        predicted_messages = modular_messages_per_consensus(n, measured_m)
+        predicted_payload = modular_data_per_consensus(n, measured_m, message_size)
+    else:
+        predicted_messages = monolithic_messages_per_consensus(n)
+        predicted_payload = monolithic_data_per_consensus(n, measured_m, message_size)
+    return ValidationRow(
+        n=n,
+        stack=stack,
+        measured_m=measured_m,
+        measured_messages=run.messages_per_consensus or 0.0,
+        predicted_messages=predicted_messages,
+        measured_payload_bytes=run.payload_bytes_per_consensus or 0.0,
+        predicted_payload_bytes=predicted_payload,
+        run=run,
+    )
+
+
+def validation_table(
+    group_sizes: tuple[int, ...] = (3, 7), message_size: int = 16384
+) -> str:
+    """Measured-vs-predicted table for both stacks and group sizes."""
+    headers = [
+        "n",
+        "stack",
+        "M",
+        "msgs/consensus (sim)",
+        "msgs/consensus (§5.2.1)",
+        "payload B/consensus (sim)",
+        "payload B/consensus (§5.2.2)",
+    ]
+    rows = []
+    for n in group_sizes:
+        for stack in (StackKind.MODULAR, StackKind.MONOLITHIC):
+            v = validate_stack(n, stack, message_size=message_size)
+            rows.append(
+                [
+                    str(n),
+                    stack.value,
+                    f"{v.measured_m:.2f}",
+                    f"{v.measured_messages:.2f}",
+                    f"{v.predicted_messages:.2f}",
+                    f"{v.measured_payload_bytes:.0f}",
+                    f"{v.predicted_payload_bytes:.0f}",
+                ]
+            )
+    return format_table(headers, rows)

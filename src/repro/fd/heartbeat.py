@@ -1,0 +1,67 @@
+"""Heartbeat failure detector.
+
+The realistic detector: every process periodically sends a small
+heartbeat message to every other process; a peer silent for longer than
+``timeout`` becomes suspected, and is un-suspected as soon as it is
+heard from again (eventually-strong ◇S behaviour with real messages and
+real CPU/network cost).
+
+Used by the fault-tolerance tests and the fault-injection example. The
+performance experiments use the oracle detector instead, so heartbeat
+traffic does not distort the good-run measurements (the paper's cluster
+paid this cost too, but at negligible rates relative to the workload).
+"""
+
+from __future__ import annotations
+
+from repro.fd.base import FailureDetector
+from repro.net.message import NetMessage
+
+#: Modelled size of a heartbeat payload in bytes.
+HEARTBEAT_SIZE = 8
+
+
+class HeartbeatFailureDetector(FailureDetector):
+    """◇S-style detector based on periodic heartbeats and timeouts."""
+
+    def __init__(self, heartbeat_interval: float, timeout: float) -> None:
+        super().__init__()
+        if heartbeat_interval <= 0:
+            raise ValueError(f"heartbeat interval must be > 0: {heartbeat_interval}")
+        if timeout <= heartbeat_interval:
+            raise ValueError(
+                f"timeout ({timeout}) must exceed the heartbeat interval "
+                f"({heartbeat_interval}) or everyone is suspected immediately"
+            )
+        self.heartbeat_interval = heartbeat_interval
+        self.timeout = timeout
+        self._last_heard: dict[int, float] = {}
+
+    def start(self) -> None:
+        now = self.runtime.kernel.now
+        for peer in range(self.runtime.network.n):
+            if peer != self.runtime.pid:
+                self._last_heard[peer] = now
+        self._send_heartbeats()
+        self._check_timeouts()
+
+    def handle_message(self, message: NetMessage) -> None:
+        if message.kind != "HEARTBEAT":
+            super().handle_message(message)
+        self._last_heard[message.src] = self.runtime.kernel.now
+        if message.src in self.suspects():
+            self._unsuspect(message.src)
+
+    def _send_heartbeats(self) -> None:
+        for peer in self._last_heard:
+            self.runtime.fd_send(peer, "HEARTBEAT", None, HEARTBEAT_SIZE)
+        self.runtime.fd_schedule(self.heartbeat_interval, self._send_heartbeats)
+
+    def _check_timeouts(self) -> None:
+        now = self.runtime.kernel.now
+        suspects = set(self.suspects())
+        for peer, heard in self._last_heard.items():
+            if now - heard > self.timeout:
+                suspects.add(peer)
+        self._publish(frozenset(suspects))
+        self.runtime.fd_schedule(self.heartbeat_interval, self._check_timeouts)

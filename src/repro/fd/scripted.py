@@ -1,0 +1,50 @@
+"""Scripted failure detector for deterministic tests.
+
+Suspicions and un-suspicions are declared up front as (time, process)
+pairs; the detector publishes them at exactly those simulated times.
+This is how tests inject *wrong* suspicions (suspecting a live
+coordinator) to exercise round changes while the suspected process keeps
+running — a scenario the oracle detector cannot produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fd.base import FailureDetector
+
+
+@dataclass(frozen=True, slots=True)
+class SuspicionEdit:
+    """One scripted change of the suspect set."""
+
+    time: float
+    process: int
+    suspected: bool
+
+
+class ScriptedFailureDetector(FailureDetector):
+    """Publishes a pre-declared schedule of suspicion changes."""
+
+    def __init__(self, script: list[SuspicionEdit] | None = None) -> None:
+        super().__init__()
+        self._script: list[SuspicionEdit] = list(script or [])
+
+    def suspect_at(self, time: float, process: int) -> None:
+        """Add *process* to the suspect set at simulated *time*."""
+        self._script.append(SuspicionEdit(time, process, True))
+
+    def unsuspect_at(self, time: float, process: int) -> None:
+        """Remove *process* from the suspect set at simulated *time*."""
+        self._script.append(SuspicionEdit(time, process, False))
+
+    def start(self) -> None:
+        now = self.runtime.kernel.now
+        for edit in sorted(self._script, key=lambda e: e.time):
+            delay = max(0.0, edit.time - now)
+            if edit.suspected:
+                self.runtime.fd_schedule(delay, lambda p=edit.process: self._suspect(p))
+            else:
+                self.runtime.fd_schedule(
+                    delay, lambda p=edit.process: self._unsuspect(p)
+                )

@@ -1,0 +1,5 @@
+"""Flow control (the paper's backlog-window mechanism, §5.1)."""
+
+from repro.flowcontrol.window import BacklogWindow
+
+__all__ = ["BacklogWindow"]

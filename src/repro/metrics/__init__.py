@@ -1,0 +1,22 @@
+"""Performance metrics and safety checking."""
+
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.ordering import OrderingChecker
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    is_stationary,
+    mean,
+    mean_confidence_interval,
+    relative_difference,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "MetricsCollector",
+    "OrderingChecker",
+    "RunMetrics",
+    "is_stationary",
+    "mean",
+    "mean_confidence_interval",
+    "relative_difference",
+]

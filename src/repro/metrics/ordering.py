@@ -1,0 +1,123 @@
+"""Safety checker for the atomic broadcast properties.
+
+Collects every process's adelivery sequence and verifies the four
+properties of atomic broadcast (Hadzilacos & Toueg):
+
+* **Integrity** — each process adelivers each message at most once, and
+  only messages that were abcast.
+* **Validity** — every message abcast by a correct process is adelivered
+  by every correct process (checked when the run is long enough for all
+  deliveries to complete).
+* **Uniform agreement** — if *any* process (even one that later crashes)
+  adelivers m, every correct process adelivers m.
+* **Total order** — any two processes adeliver common messages in the
+  same relative order. Because both stacks adeliver batches in instance
+  order with a deterministic intra-batch order, every process's sequence
+  must be a prefix of a single global sequence, which is the stronger
+  form we check.
+
+Integration tests wrap every run (including faulty ones) with this
+checker; a violation raises :class:`~repro.errors.OrderingViolation`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OrderingViolation
+from repro.types import AppMessage, MessageId, SimTime
+
+
+class OrderingChecker:
+    """Accumulates adelivery sequences and checks the abcast properties."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self._sequences: list[list[MessageId]] = [[] for __ in range(n)]
+        self._abcast: set[MessageId] = set()
+
+    # -- event hooks -----------------------------------------------------
+
+    def on_abcast(self, message: AppMessage) -> None:
+        """Record that *message* entered some process's stack."""
+        self._abcast.add(message.msg_id)
+
+    def on_adeliver(self, pid: int, message: AppMessage, time: SimTime) -> None:
+        """Record one adelivery (signature matches the runtime listener)."""
+        self._sequences[pid].append(message.msg_id)
+
+    def sequence(self, pid: int) -> tuple[MessageId, ...]:
+        """The adelivery sequence of process *pid*."""
+        return tuple(self._sequences[pid])
+
+    # -- checks ------------------------------------------------------------
+
+    def verify(
+        self,
+        correct: set[int] | None = None,
+        *,
+        expect_all_delivered: bool = False,
+    ) -> None:
+        """Check all properties; raise :class:`OrderingViolation` on failure.
+
+        Args:
+            correct: Processes that never crashed (default: all).
+            expect_all_delivered: Additionally require validity and
+                uniform agreement to have fully completed — only
+                meaningful when the run had enough quiet time at the end
+                for all deliveries to finish.
+        """
+        if correct is None:
+            correct = set(range(self.n))
+        self._check_integrity()
+        self._check_total_order()
+        if expect_all_delivered:
+            self._check_uniform_agreement(correct)
+            self._check_validity(correct)
+
+    def _check_integrity(self) -> None:
+        for pid, sequence in enumerate(self._sequences):
+            if len(sequence) != len(set(sequence)):
+                duplicates = [m for m in set(sequence) if sequence.count(m) > 1]
+                raise OrderingViolation(
+                    f"integrity: p{pid} adelivered duplicates: {duplicates[:5]}"
+                )
+            unknown = [m for m in sequence if m not in self._abcast]
+            if unknown:
+                raise OrderingViolation(
+                    f"integrity: p{pid} adelivered never-abcast messages: "
+                    f"{unknown[:5]}"
+                )
+
+    def _check_total_order(self) -> None:
+        longest = max(self._sequences, key=len)
+        for pid, sequence in enumerate(self._sequences):
+            prefix = longest[: len(sequence)]
+            if sequence != prefix:
+                mismatch = next(
+                    i for i, (a, b) in enumerate(zip(sequence, prefix)) if a != b
+                )
+                raise OrderingViolation(
+                    f"total order: p{pid} diverges at position {mismatch}: "
+                    f"{sequence[mismatch]} vs {prefix[mismatch]}"
+                )
+
+    def _check_uniform_agreement(self, correct: set[int]) -> None:
+        delivered_anywhere: set[MessageId] = set()
+        for sequence in self._sequences:
+            delivered_anywhere.update(sequence)
+        for pid in sorted(correct):
+            missing = delivered_anywhere - set(self._sequences[pid])
+            if missing:
+                raise OrderingViolation(
+                    f"uniform agreement: p{pid} missed delivered messages: "
+                    f"{sorted(missing)[:5]}"
+                )
+
+    def _check_validity(self, correct: set[int]) -> None:
+        from_correct = {m for m in self._abcast if m.sender in correct}
+        for pid in sorted(correct):
+            missing = from_correct - set(self._sequences[pid])
+            if missing:
+                raise OrderingViolation(
+                    f"validity: p{pid} never adelivered messages abcast by "
+                    f"correct processes: {sorted(missing)[:5]}"
+                )

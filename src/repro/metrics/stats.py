@@ -1,0 +1,81 @@
+"""Small statistics helpers: means, confidence intervals, stationarity."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+from repro.errors import MetricsError
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceInterval:
+    """A mean with a symmetric confidence half-width."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    count: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} ± {self.half_width:.3f}"
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise MetricsError("mean() of empty sequence")
+    return sum(values) / len(values)
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval of the mean (the paper reports 95%).
+
+    A single observation yields a zero-width interval (no variance
+    information), which the harness flags in its reports.
+    """
+    if not values:
+        raise MetricsError("confidence interval of empty sequence")
+    count = len(values)
+    centre = mean(values)
+    if count == 1:
+        return ConfidenceInterval(centre, 0.0, confidence, count)
+    variance = sum((v - centre) ** 2 for v in values) / (count - 1)
+    std_error = math.sqrt(variance / count)
+    t_value = float(scipy_stats.t.ppf((1 + confidence) / 2, df=count - 1))
+    return ConfidenceInterval(centre, t_value * std_error, confidence, count)
+
+
+def relative_difference(a: float, b: float) -> float:
+    """|a - b| scaled by the larger magnitude; 0 when both are 0."""
+    scale = max(abs(a), abs(b))
+    if scale == 0:
+        return 0.0
+    return abs(a - b) / scale
+
+
+def is_stationary(
+    first_half: Sequence[float], second_half: Sequence[float], tolerance: float = 0.25
+) -> bool:
+    """Crude stationarity check: half-window means within *tolerance*.
+
+    The paper verifies "that the latencies of all processes stabilize
+    over time"; we approximate that by requiring the mean early latency
+    of the two halves of the measurement window to agree within 25 %.
+    """
+    if not first_half or not second_half:
+        return True  # too little data to call it non-stationary
+    return relative_difference(mean(first_half), mean(second_half)) <= tolerance

@@ -1,0 +1,21 @@
+"""Network substrate: quasi-reliable FIFO channels over a modelled LAN.
+
+Replaces the paper's TCP-over-Gigabit-Ethernet transport with a timing
+model (NIC serialization + propagation + per-pair FIFO) plus fault
+injection and message/byte accounting.
+"""
+
+from repro.net.faults import FaultInjector, FilterDecision, Verdict, deliver_all
+from repro.net.message import NetMessage
+from repro.net.network import Network
+from repro.net.stats import NetworkStats
+
+__all__ = [
+    "FaultInjector",
+    "FilterDecision",
+    "NetMessage",
+    "Network",
+    "NetworkStats",
+    "Verdict",
+    "deliver_all",
+]

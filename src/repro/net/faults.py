@@ -1,0 +1,116 @@
+"""Network fault injection.
+
+The paper's measurements are over *good runs*, but the protocols must be
+correct in all runs. The :class:`FaultInjector` lets tests and examples
+crash processes at scheduled times (or at precise protocol points, via
+manual calls) and perturb message delivery (drops and extra delays).
+
+Note on semantics: crashing a process does *not* retract messages it
+already handed to its NIC — exactly as on a real host, where frames
+queued in the kernel may still leave after the application dies. This is
+what makes "sender crashes mid-diffusion" scenarios (the reason for the
+§3.3 guard timer) expressible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.net.message import NetMessage
+
+
+class Verdict(enum.Enum):
+    """Decision of a message filter."""
+
+    DELIVER = "deliver"
+    DROP = "drop"
+
+
+@dataclass(frozen=True, slots=True)
+class FilterDecision:
+    """Outcome of filtering one message."""
+
+    verdict: Verdict
+    extra_delay: float = 0.0
+
+    @classmethod
+    def deliver(cls, extra_delay: float = 0.0) -> "FilterDecision":
+        return cls(Verdict.DELIVER, extra_delay)
+
+    @classmethod
+    def drop(cls) -> "FilterDecision":
+        return cls(Verdict.DROP)
+
+
+#: A message filter inspects a message and decides its fate.
+MessageFilter = Callable[[NetMessage], FilterDecision]
+
+
+def deliver_all(message: NetMessage) -> FilterDecision:  # noqa: ARG001
+    """Default filter: every message is delivered unperturbed."""
+    return FilterDecision.deliver()
+
+
+class FaultInjector:
+    """Composable message filtering plus crash bookkeeping.
+
+    Filters are applied in registration order; the first non-DELIVER
+    verdict wins, and extra delays accumulate across DELIVER verdicts.
+    """
+
+    def __init__(self) -> None:
+        self._filters: list[MessageFilter] = []
+        self._crashed: set[int] = set()
+
+    def add_filter(self, message_filter: MessageFilter) -> None:
+        """Register a message filter."""
+        self._filters.append(message_filter)
+
+    def drop_matching(self, predicate: Callable[[NetMessage], bool]) -> None:
+        """Drop every message for which *predicate* is true."""
+
+        def _filter(message: NetMessage) -> FilterDecision:
+            if predicate(message):
+                return FilterDecision.drop()
+            return FilterDecision.deliver()
+
+        self.add_filter(_filter)
+
+    def delay_matching(
+        self, predicate: Callable[[NetMessage], bool], extra_delay: float
+    ) -> None:
+        """Add *extra_delay* seconds to every matching message."""
+
+        def _filter(message: NetMessage) -> FilterDecision:
+            if predicate(message):
+                return FilterDecision.deliver(extra_delay)
+            return FilterDecision.deliver()
+
+        self.add_filter(_filter)
+
+    def mark_crashed(self, process: int) -> None:
+        """Record that *process* has crashed (messages to it are dropped)."""
+        self._crashed.add(process)
+
+    def is_crashed(self, process: int) -> bool:
+        """Whether *process* has crashed."""
+        return process in self._crashed
+
+    @property
+    def crashed(self) -> frozenset[int]:
+        """Set of processes known to have crashed."""
+        return frozenset(self._crashed)
+
+    def judge(self, message: NetMessage) -> FilterDecision:
+        """Apply all filters (and crash state) to *message*."""
+        if message.dst in self._crashed:
+            return FilterDecision.drop()
+        total_delay = 0.0
+        for message_filter in self._filters:
+            decision = message_filter(message)
+            if decision.verdict is Verdict.DROP:
+                return decision
+            total_delay += decision.extra_delay
+        return FilterDecision.deliver(total_delay)

@@ -1,0 +1,65 @@
+"""Wire message model.
+
+Messages carry a protocol *kind* (e.g. ``"PROPOSAL"``), the name of the
+destination *module* (so the receiving stack can route them), an opaque
+payload, and explicit size accounting. Sizes are modelled, not measured:
+``payload_size`` is the number of bytes the real system would serialize,
+and ``header_size`` covers transport framing plus the stacked per-module
+headers of the composition framework.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import NetworkError
+
+_MSG_COUNTER = itertools.count()
+
+
+@dataclass(slots=True)
+class NetMessage:
+    """One point-to-point message on the simulated network.
+
+    Attributes:
+        kind: Protocol-level message type, used for statistics and traces.
+        module: Name of the module that sent it; the receiving stack
+            dispatches it to the module registered under the same name.
+        src: Sending process.
+        dst: Receiving process.
+        payload: Opaque protocol content (never serialized in the
+            simulator; only its modelled size matters for timing).
+        payload_size: Modelled serialized size of the payload in bytes.
+        header_size: Modelled framing bytes (transport + module headers).
+        uid: Unique id for tracing and FIFO bookkeeping.
+    """
+
+    kind: str
+    module: str
+    src: int
+    dst: int
+    payload: Any
+    payload_size: int
+    header_size: int
+    uid: int = field(default_factory=lambda: next(_MSG_COUNTER))
+
+    def __post_init__(self) -> None:
+        if self.payload_size < 0:
+            raise NetworkError(f"negative payload size: {self.payload_size}")
+        if self.header_size < 0:
+            raise NetworkError(f"negative header size: {self.header_size}")
+        if self.src == self.dst:
+            raise NetworkError(f"message from {self.src} to itself")
+
+    @property
+    def wire_size(self) -> int:
+        """Total bytes occupying the link."""
+        return self.payload_size + self.header_size
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind}({self.src}->{self.dst}, {self.wire_size}B, "
+            f"module={self.module})"
+        )

@@ -1,0 +1,115 @@
+"""The simulated full-mesh network.
+
+Models the paper's testbed transport: every pair of processes is
+connected by a quasi-reliable, FIFO, bidirectional channel (the paper's
+Fortika used TCP connections over switched Gigabit Ethernet).
+
+Timing model per message:
+
+1. *NIC serialization* — each process has one transmit NIC of finite
+   bandwidth; messages leave in FIFO order, each occupying the NIC for
+   ``wire_size / bandwidth`` seconds. This captures sender-side
+   contention when broadcasting large proposals.
+2. *Propagation* — a constant one-way delay (wire + switch).
+3. *Per-pair FIFO* — arrivals on a (src, dst) pair never reorder, as TCP
+   guarantees.
+
+Quasi-reliability: if neither endpoint crashes, every message arrives
+(the simulator never loses messages unless a fault filter drops them).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import NetworkConfig
+from repro.errors import NetworkError
+from repro.net.faults import FaultInjector, Verdict
+from repro.net.message import NetMessage
+from repro.net.stats import NetworkStats
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import NullTraceRecorder, TraceRecorder
+from repro.types import SimTime
+
+#: Callback invoked when a message arrives at a live destination.
+DeliverFn = Callable[[NetMessage], None]
+
+
+class Network:
+    """Full mesh of quasi-reliable FIFO channels with NIC modelling."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        n: int,
+        config: NetworkConfig,
+        *,
+        stats: NetworkStats | None = None,
+        faults: FaultInjector | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        if n < 2:
+            raise NetworkError(f"network needs at least 2 processes, got {n}")
+        self._kernel = kernel
+        self.n = n
+        self.config = config
+        self.stats = stats if stats is not None else NetworkStats()
+        self.faults = faults if faults is not None else FaultInjector()
+        self._trace = trace if trace is not None else NullTraceRecorder()
+        self._deliver: dict[int, DeliverFn] = {}
+        #: Time at which each process's transmit NIC becomes free.
+        self._nic_free: list[SimTime] = [0.0] * n
+        #: Last scheduled arrival per (src, dst), for FIFO enforcement.
+        self._last_arrival: dict[tuple[int, int], SimTime] = {}
+
+    def register(self, process: int, deliver: DeliverFn) -> None:
+        """Attach the receive handler of *process*."""
+        if not 0 <= process < self.n:
+            raise NetworkError(f"unknown process {process} (n={self.n})")
+        self._deliver[process] = deliver
+
+    def transmit(self, message: NetMessage, depart_time: SimTime) -> None:
+        """Put *message* on the wire at *depart_time*.
+
+        *depart_time* is when the sending CPU finished preparing the
+        message (it must not precede the current simulated time). The
+        message then waits for the sender NIC, serializes at link
+        bandwidth, propagates, and is delivered unless a fault filter
+        drops it or the destination has crashed by arrival time.
+        """
+        if message.dst >= self.n or message.dst < 0:
+            raise NetworkError(f"message to unknown process: {message}")
+        if depart_time < self._kernel.now:
+            raise NetworkError(
+                f"depart_time {depart_time} is in the past (now={self._kernel.now})"
+            )
+        self.stats.on_transmit(message)
+        self._trace.record(depart_time, "net.send", message.src, message)
+
+        tx_start = max(depart_time, self._nic_free[message.src])
+        tx_end = tx_start + message.wire_size / self.config.bandwidth
+        self._nic_free[message.src] = tx_end
+
+        arrival = tx_end + self.config.delay(message.src, message.dst)
+        decision = self.faults.judge(message)
+        if decision.verdict is Verdict.DROP:
+            self._trace.record(arrival, "net.drop", message.dst, message)
+            return
+        arrival += decision.extra_delay
+
+        pair = (message.src, message.dst)
+        arrival = max(arrival, self._last_arrival.get(pair, 0.0))
+        self._last_arrival[pair] = arrival
+
+        self._kernel.schedule_at(arrival, lambda: self._arrive(message))
+
+    def _arrive(self, message: NetMessage) -> None:
+        """Hand an arriving message to the destination, if still alive."""
+        if self.faults.is_crashed(message.dst):
+            self._trace.record(self._kernel.now, "net.dead_drop", message.dst, message)
+            return
+        deliver = self._deliver.get(message.dst)
+        if deliver is None:
+            raise NetworkError(f"no receiver registered for process {message.dst}")
+        self._trace.record(self._kernel.now, "net.recv", message.dst, message)
+        deliver(message)

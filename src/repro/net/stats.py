@@ -1,0 +1,56 @@
+"""Network accounting.
+
+Counts messages and bytes put on the wire, broken down by message kind
+and by sending module. These counters are what we check the paper's §5.2
+analytical formulas against: the per-consensus message counts of the
+modular and monolithic stacks must match
+``(n-1)(M + 2 + ⌊(n+1)/2⌋)`` and ``2(n-1)`` respectively in good runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.net.message import NetMessage
+
+
+@dataclass
+class NetworkStats:
+    """Mutable per-run network counters."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    payload_bytes_sent: int = 0
+    messages_by_kind: Counter = field(default_factory=Counter)
+    bytes_by_kind: Counter = field(default_factory=Counter)
+    messages_by_module: Counter = field(default_factory=Counter)
+
+    def on_transmit(self, message: NetMessage) -> None:
+        """Record one message put on the wire."""
+        self.messages_sent += 1
+        self.bytes_sent += message.wire_size
+        self.payload_bytes_sent += message.payload_size
+        self.messages_by_kind[message.kind] += 1
+        self.bytes_by_kind[message.kind] += message.wire_size
+        self.messages_by_module[message.module] += 1
+
+    def reset(self) -> None:
+        """Zero all counters (called at the end of warm-up)."""
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.payload_bytes_sent = 0
+        self.messages_by_kind.clear()
+        self.bytes_by_kind.clear()
+        self.messages_by_module.clear()
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, convenient for reports and assertions."""
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "payload_bytes_sent": self.payload_bytes_sent,
+            "messages_by_kind": dict(self.messages_by_kind),
+            "bytes_by_kind": dict(self.bytes_by_kind),
+            "messages_by_module": dict(self.messages_by_module),
+        }

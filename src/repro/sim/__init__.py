@@ -1,0 +1,25 @@
+"""Discrete-event simulation substrate.
+
+This package replaces the paper's physical cluster: a deterministic event
+loop (:class:`~repro.sim.kernel.Kernel`), per-process CPU models
+(:class:`~repro.sim.cpu.Cpu`), reproducible named RNG streams
+(:class:`~repro.sim.rng.RngRegistry`) and optional structured tracing
+(:class:`~repro.sim.tracing.TraceRecorder`).
+"""
+
+from repro.sim.cpu import Cpu
+from repro.sim.eventq import EventQueue, ScheduledEvent
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngRegistry
+from repro.sim.tracing import NullTraceRecorder, TraceRecord, TraceRecorder
+
+__all__ = [
+    "Cpu",
+    "EventQueue",
+    "Kernel",
+    "NullTraceRecorder",
+    "RngRegistry",
+    "ScheduledEvent",
+    "TraceRecord",
+    "TraceRecorder",
+]

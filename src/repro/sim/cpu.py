@@ -1,0 +1,88 @@
+"""Single-server CPU model for a simulated process.
+
+The paper's experimental results are dominated by per-message processing
+cost ("99% of CPU resources were used with an offered load bigger than
+500 msgs/s"), so modelling the CPU as a non-preemptive FIFO server is the
+single most important fidelity decision of this reproduction. Each
+protocol handler invocation, send operation and module boundary crossing
+charges time to its process CPU; work queues up when the CPU is busy,
+which produces the latency growth and throughput saturation the paper
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+from repro.types import SimTime
+
+
+class Cpu:
+    """A non-preemptive, work-conserving single-server CPU.
+
+    Work is expressed in seconds of service time. The CPU keeps a
+    ``busy_until`` horizon: new work starts at ``max(now, busy_until)``
+    and extends the horizon by its cost. Callbacks fire at their
+    completion instant on the owning kernel.
+    """
+
+    def __init__(self, kernel: Kernel, *, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise SimulationError(f"CPU speed must be positive, got {speed}")
+        self._kernel = kernel
+        self._speed = speed
+        self._busy_until: SimTime = 0.0
+        self._busy_time: float = 0.0
+        self._halted = False
+
+    @property
+    def busy_until(self) -> SimTime:
+        """Completion time of the last queued piece of work."""
+        return self._busy_until
+
+    @property
+    def busy_time(self) -> float:
+        """Total service seconds executed (for utilization accounting)."""
+        return self._busy_time
+
+    def utilization(self, elapsed: SimTime) -> float:
+        """Fraction of *elapsed* seconds spent busy, clamped to [0, 1]."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / elapsed)
+
+    def halt(self) -> None:
+        """Stop accepting work (the owning process crashed).
+
+        Work already queued will still fire its completion callbacks; the
+        process runtime is responsible for ignoring them after a crash
+        (a real crashed host does not finish its queued work, and the
+        runtime models that by checking liveness at completion time).
+        """
+        self._halted = True
+
+    def execute(
+        self, cost: float, callback: Callable[[], Any] | None = None
+    ) -> SimTime:
+        """Queue *cost* seconds of work; run *callback* at completion.
+
+        Returns:
+            The simulated completion time of the work.
+
+        Raises:
+            SimulationError: If *cost* is negative or the CPU is halted.
+        """
+        if cost < 0:
+            raise SimulationError(f"CPU cost must be non-negative, got {cost}")
+        if self._halted:
+            raise SimulationError("cannot queue work on a halted CPU")
+        service = cost / self._speed
+        start = max(self._kernel.now, self._busy_until)
+        done = start + service
+        self._busy_until = done
+        self._busy_time += service
+        if callback is not None:
+            self._kernel.schedule_at(done, callback)
+        return done

@@ -1,0 +1,72 @@
+"""Calendar queue for the discrete-event simulation kernel.
+
+A thin wrapper around :mod:`heapq` providing cancellable, deterministically
+ordered scheduled events. Ties in time are broken by insertion sequence so
+that two kernels fed the same schedule produce identical executions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.types import SimTime
+
+
+@dataclass(slots=True)
+class ScheduledEvent:
+    """A callback scheduled at a point in simulated time.
+
+    Instances are returned by :meth:`EventQueue.push` and can be cancelled
+    via :meth:`cancel`. Cancelled events stay in the heap but are skipped
+    when popped (lazy deletion), which keeps cancellation O(1).
+    """
+
+    time: SimTime
+    seq: int
+    callback: Callable[[], Any]
+    cancelled: bool = field(default=False)
+
+    def cancel(self) -> None:
+        """Prevent this event from firing. Idempotent."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Min-heap of :class:`ScheduledEvent`, ordered by (time, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[SimTime, int, ScheduledEvent]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: SimTime, callback: Callable[[], Any]) -> ScheduledEvent:
+        """Schedule *callback* at *time* and return a cancellable handle."""
+        event = ScheduledEvent(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def pop(self) -> ScheduledEvent | None:
+        """Remove and return the next live event, or ``None`` if empty.
+
+        Cancelled events are discarded transparently.
+        """
+        while self._heap:
+            __, __, event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> SimTime | None:
+        """Time of the next live event without removing it."""
+        while self._heap:
+            time, __, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None

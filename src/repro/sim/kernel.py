@@ -1,0 +1,120 @@
+"""The discrete-event simulation kernel.
+
+The kernel owns the virtual clock and the event calendar. Everything in a
+run — network transmissions, CPU task completions, protocol timers,
+workload arrivals, fault injections — is a callback scheduled on one
+kernel, so a whole distributed execution is a single deterministic event
+loop.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.eventq import EventQueue, ScheduledEvent
+from repro.sim.rng import RngRegistry
+from repro.types import SimTime
+
+#: Hard ceiling on events per run; a guard against accidental livelock in
+#: protocol logic (e.g. two modules ping-ponging zero-delay events).
+DEFAULT_MAX_EVENTS = 500_000_000
+
+
+class Kernel:
+    """Deterministic discrete-event simulation loop.
+
+    Attributes:
+        now: Current simulated time in seconds. Monotonically
+            non-decreasing while :meth:`run` executes.
+        rng: Registry of named random streams for this run.
+    """
+
+    def __init__(self, *, seed: int = 0, max_events: int = DEFAULT_MAX_EVENTS) -> None:
+        self.now: SimTime = 0.0
+        self.rng = RngRegistry(seed)
+        self._queue = EventQueue()
+        self._max_events = max_events
+        self._events_executed = 0
+        self._stopped = False
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (for diagnostics)."""
+        return self._events_executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the calendar (including cancelled)."""
+        return len(self._queue)
+
+    def schedule(
+        self, delay: SimTime, callback: Callable[[], Any]
+    ) -> ScheduledEvent:
+        """Schedule *callback* to run ``delay`` seconds from now.
+
+        Raises:
+            SimulationError: If *delay* is negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self.now + delay, callback)
+
+    def schedule_at(
+        self, time: SimTime, callback: Callable[[], Any]
+    ) -> ScheduledEvent:
+        """Schedule *callback* at absolute simulated *time*.
+
+        Raises:
+            SimulationError: If *time* is earlier than :attr:`now`.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} which is before now={self.now}"
+            )
+        return self._queue.push(time, callback)
+
+    def stop(self) -> None:
+        """Request the run loop to exit after the current event."""
+        self._stopped = True
+
+    def run(self, until: SimTime | None = None) -> SimTime:
+        """Execute events in time order.
+
+        Args:
+            until: If given, stop once the next event would be later than
+                this time and fast-forward the clock exactly to it. If
+                ``None``, run until the calendar drains or :meth:`stop`.
+
+        Returns:
+            The simulated time at which the loop exited.
+
+        Raises:
+            SimulationError: If the event budget is exceeded, which almost
+                always indicates a zero-delay event loop in protocol code.
+        """
+        self._stopped = False
+        while not self._stopped:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            event = self._queue.pop()
+            if event is None:  # everything remaining was cancelled
+                break
+            if event.time < self.now:
+                raise SimulationError(
+                    f"event queue returned past event ({event.time} < {self.now})"
+                )
+            self.now = event.time
+            self._events_executed += 1
+            if self._events_executed > self._max_events:
+                raise SimulationError(
+                    f"exceeded event budget of {self._max_events} events; "
+                    "likely a zero-delay event loop in protocol logic"
+                )
+            event.callback()
+        if until is not None and self.now < until and not self._stopped:
+            self.now = until
+        return self.now

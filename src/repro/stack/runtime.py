@@ -1,0 +1,380 @@
+"""Per-process protocol runtime.
+
+The runtime is the glue between pure protocol state machines and the
+simulation substrate. For one process it owns:
+
+* the ordered module stack (top = closest to the application),
+* the process CPU, on which every handler invocation, send and module
+  boundary crossing charges time,
+* the routing of network messages to modules by name,
+* named protocol timers,
+* the failure detector attachment, and
+* crash semantics (a crashed process stops executing instantly; messages
+  already handed to the NIC still depart, as on a real host).
+
+Cost model (the crux of the reproduction):
+
+* receiving a message costs ``recv_cost(wire)`` plus one boundary
+  crossing per module the message ascends through (its module's height),
+* sending costs ``send_cost(wire)`` plus one crossing per descended
+  module, and the wire carries one framework header per module below and
+  including the sender (Cactus-style header stacking),
+* every handler invocation costs ``dispatch``; inter-module events cost
+  an additional ``boundary_crossing``.
+
+A monolithic stack has a single module at height 0, so it pays none of
+the crossing costs and carries a single framework header — the
+*mechanical* advantage of merging; its *algorithmic* advantage (fewer,
+larger messages) is implemented in :mod:`repro.abcast.monolithic`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.config import CpuCosts, NetworkConfig
+from repro.errors import ProtocolError
+from repro.net.message import NetMessage
+from repro.net.network import Network
+from repro.sim.cpu import Cpu
+from repro.sim.eventq import ScheduledEvent
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import NullTraceRecorder, TraceRecorder
+from repro.stack.actions import (
+    Action,
+    CancelTimer,
+    EmitDown,
+    EmitUp,
+    Send,
+    SendToAll,
+    StartTimer,
+)
+from repro.stack.events import AdeliverIndication, Event
+from repro.stack.module import Microprotocol
+from repro.types import AppMessage, SimTime
+
+#: Listener signature for application-level deliveries:
+#: ``(pid, message, adeliver_time)``.
+AdeliverListener = Callable[[int, AppMessage, SimTime], None]
+
+
+class ProcessRuntime:
+    """Hosts one process's protocol stack on the simulation kernel."""
+
+    def __init__(
+        self,
+        pid: int,
+        modules: list[Microprotocol],
+        *,
+        kernel: Kernel,
+        network: Network,
+        costs: CpuCosts,
+        net_config: NetworkConfig,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        if not modules:
+            raise ProtocolError("a stack needs at least one module")
+        self.pid = pid
+        self.kernel = kernel
+        self.network = network
+        self.costs = costs
+        self.net_config = net_config
+        self.cpu = Cpu(kernel)
+        self.alive = True
+        self._trace = trace if trace is not None else NullTraceRecorder()
+
+        #: Modules ordered top (application side) to bottom (network side).
+        self._modules = list(modules)
+        self._by_name: dict[str, Microprotocol] = {}
+        #: Height of each module: bottom module is 0.
+        self._height: dict[str, int] = {}
+        depth = len(modules)
+        for index, module in enumerate(modules):
+            if module.name in self._by_name:
+                raise ProtocolError(f"duplicate module name {module.name!r}")
+            self._by_name[module.name] = module
+            self._height[module.name] = depth - 1 - index
+
+        self._timers: dict[tuple[str, str], ScheduledEvent] = {}
+        self._adeliver_listener: AdeliverListener | None = None
+        self._fd: Any = None
+        self._sends_until_crash: int | None = None
+        #: Payload of the previous Send, for serialize-once accounting:
+        #: consecutive sends of the same payload object (a broadcast)
+        #: only pay the serialization cost on the first copy.
+        self._last_sent_payload: Any = object()
+
+        network.register(pid, self._on_network_arrival)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    @property
+    def modules(self) -> tuple[Microprotocol, ...]:
+        """The stack, top to bottom."""
+        return tuple(self._modules)
+
+    def module(self, name: str) -> Microprotocol:
+        """Look up a module by routing name."""
+        return self._by_name[name]
+
+    def set_adeliver_listener(self, listener: AdeliverListener) -> None:
+        """Register the application callback for adelivered messages."""
+        self._adeliver_listener = listener
+
+    def attach_failure_detector(self, fd: Any) -> None:
+        """Attach a failure detector (see :mod:`repro.fd`)."""
+        self._fd = fd
+        fd.attach(self)
+
+    def start(self) -> None:
+        """Run every module's ``on_start`` hook (top to bottom)."""
+        if self._fd is not None:
+            self._fd.start()
+        for module in self._modules:
+            self._execute_actions(module, module.on_start())
+
+    # ------------------------------------------------------------------
+    # Application entry points
+    # ------------------------------------------------------------------
+
+    def inject(self, event: Event) -> None:
+        """Deliver *event* from the application to the top module."""
+        if not self.alive:
+            return
+        self.cpu.execute(self.costs.dispatch)
+        top = self._modules[0]
+        self._run_handler(top, lambda: top.handle_event(event))
+
+    # ------------------------------------------------------------------
+    # Crash semantics
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Stop this process permanently (fail-stop model)."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.cpu.halt()
+        self.network.faults.mark_crashed(self.pid)
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._trace.record(self.kernel.now, "process.crash", self.pid)
+
+    def crash_after_sends(self, remaining_sends: int) -> None:
+        """Crash this process right after its next *remaining_sends* sends.
+
+        Used by fault tests to crash a sender halfway through a broadcast
+        (the scenario that motivates the paper's §3.3 guard timer).
+        """
+        if remaining_sends < 1:
+            raise ProtocolError("remaining_sends must be >= 1")
+        self._sends_until_crash = remaining_sends
+
+    # ------------------------------------------------------------------
+    # Failure detector plumbing
+    # ------------------------------------------------------------------
+
+    def suspects(self) -> frozenset[int]:
+        """Current FD output (empty set when no FD is attached)."""
+        if self._fd is None:
+            return frozenset()
+        return self._fd.suspects()
+
+    def on_suspicion_change(self, suspects: frozenset[int]) -> None:
+        """FD callback: propagate the new suspect set to every module."""
+        if not self.alive:
+            return
+        self._trace.record(self.kernel.now, "fd.change", self.pid, suspects)
+        self.cpu.execute(self.costs.dispatch)
+        for module in self._modules:
+            if not self.alive:
+                return
+            self._run_handler(module, lambda m=module: m.handle_suspicion(suspects))
+
+    def fd_send(self, dst: int, kind: str, payload: Any, payload_size: int) -> None:
+        """Send a failure-detector message (routed to the peer FD)."""
+        if not self.alive:
+            return
+        header = self.net_config.base_header + self.net_config.per_module_header
+        message = NetMessage(
+            kind=kind,
+            module="fd",
+            src=self.pid,
+            dst=dst,
+            payload=payload,
+            payload_size=payload_size,
+            header_size=header,
+        )
+        done = self.cpu.execute(self.costs.send_cost(message.wire_size))
+        self.network.transmit(message, done)
+
+    def fd_schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+        """Schedule an FD-internal callback; suppressed after a crash."""
+
+        def _fire() -> None:
+            if self.alive:
+                callback()
+
+        return self.kernel.schedule(delay, _fire)
+
+    # ------------------------------------------------------------------
+    # Network plumbing
+    # ------------------------------------------------------------------
+
+    def _on_network_arrival(self, message: NetMessage) -> None:
+        if not self.alive:
+            return
+        if message.module == "fd":
+            if self._fd is None:
+                raise ProtocolError(f"p{self.pid} got FD message without an FD")
+            cost = self.costs.recv_cost(message.wire_size)
+            self.cpu.execute(cost, lambda: self._dispatch_fd_message(message))
+            return
+        module = self._by_name.get(message.module)
+        if module is None:
+            raise ProtocolError(
+                f"p{self.pid} has no module {message.module!r} for {message}"
+            )
+        height = self._height[message.module]
+        cost = (
+            self.costs.recv_cost(message.wire_size)
+            + height * self.costs.boundary_crossing
+            + self.costs.dispatch
+        )
+        self.cpu.execute(cost, lambda: self._dispatch_message(module, message))
+
+    def _dispatch_fd_message(self, message: NetMessage) -> None:
+        if self.alive and self._fd is not None:
+            self._fd.handle_message(message)
+
+    def _dispatch_message(self, module: Microprotocol, message: NetMessage) -> None:
+        if not self.alive:
+            return
+        self._run_handler(module, lambda: module.handle_message(message))
+
+    # ------------------------------------------------------------------
+    # Action execution
+    # ------------------------------------------------------------------
+
+    def _run_handler(self, module: Microprotocol, thunk: Callable[[], list[Action]]) -> None:
+        actions = thunk()
+        self._execute_actions(module, actions)
+
+    def _execute_actions(self, module: Microprotocol, actions: list[Action]) -> None:
+        for action in actions:
+            if not self.alive:
+                return
+            if isinstance(action, Send):
+                self._do_send(module, action.dst, action.kind, action.payload, action.payload_size)
+            elif isinstance(action, SendToAll):
+                for dst in module.ctx.others:
+                    if not self.alive:
+                        return
+                    self._do_send(module, dst, action.kind, action.payload, action.payload_size)
+            elif isinstance(action, EmitUp):
+                self._emit(module, action.event, direction=-1)
+            elif isinstance(action, EmitDown):
+                self._emit(module, action.event, direction=+1)
+            elif isinstance(action, StartTimer):
+                self._start_timer(module, action)
+            elif isinstance(action, CancelTimer):
+                self._cancel_timer(module, action.name)
+            else:
+                raise ProtocolError(
+                    f"module {module.name!r} returned unknown action {action!r}"
+                )
+
+    def _do_send(
+        self, module: Microprotocol, dst: int, kind: str, payload: Any, payload_size: int
+    ) -> None:
+        height = self._height[module.name]
+        header = self.net_config.base_header + self.net_config.per_module_header * (
+            height + 1
+        )
+        message = NetMessage(
+            kind=kind,
+            module=module.name,
+            src=self.pid,
+            dst=dst,
+            payload=payload,
+            payload_size=payload_size,
+            header_size=header,
+        )
+        first_copy = payload is not self._last_sent_payload or payload is None
+        self._last_sent_payload = payload
+        cost = (
+            self.costs.send_cost(message.wire_size, first_copy=first_copy)
+            + height * self.costs.boundary_crossing
+        )
+        done = self.cpu.execute(cost)
+        self.network.transmit(message, done)
+        if self._sends_until_crash is not None:
+            self._sends_until_crash -= 1
+            if self._sends_until_crash == 0:
+                self.crash()
+
+    def _emit(self, module: Microprotocol, event: Event, *, direction: int) -> None:
+        index = self._modules.index(module)
+        target_index = index + direction
+        if direction < 0 and target_index < 0:
+            self._deliver_to_application(event)
+            return
+        if target_index >= len(self._modules):
+            raise ProtocolError(
+                f"module {module.name!r} emitted {type(event).__name__} below "
+                "the bottom of the stack"
+            )
+        target = self._modules[target_index]
+        self.cpu.execute(self.costs.boundary_crossing + self.costs.dispatch)
+        self._run_handler(target, lambda: target.handle_event(event))
+
+    def _deliver_to_application(self, event: Event) -> None:
+        if not isinstance(event, AdeliverIndication):
+            raise ProtocolError(
+                f"top module emitted unexpected event {type(event).__name__} "
+                "to the application"
+            )
+        when = self.cpu.execute(self.costs.adeliver)
+        self._trace.record(when, "abcast.adeliver", self.pid, event.message.msg_id)
+        if self._adeliver_listener is not None:
+            self._adeliver_listener(self.pid, event.message, when)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _start_timer(self, module: Microprotocol, action: StartTimer) -> None:
+        key = (module.name, action.name)
+        existing = self._timers.get(key)
+        if existing is not None:
+            existing.cancel()
+        base = max(self.kernel.now, self.cpu.busy_until)
+        fire_at = base + action.delay
+
+        def _fire() -> None:
+            if not self.alive:
+                return
+            if self._timers.get(key) is not handle:
+                return  # superseded by a later re-arm
+            del self._timers[key]
+            self.cpu.execute(
+                self.costs.dispatch,
+                lambda: self._fire_timer(module, action.name, action.payload),
+            )
+
+        handle = self.kernel.schedule_at(fire_at, _fire)
+        self._timers[key] = handle
+
+    def _fire_timer(self, module: Microprotocol, name: str, payload: Any) -> None:
+        if not self.alive:
+            return
+        self._run_handler(module, lambda: module.handle_timer(name, payload))
+
+    def _cancel_timer(self, module: Microprotocol, name: str) -> None:
+        key = (module.name, name)
+        existing = self._timers.pop(key, None)
+        if existing is not None:
+            existing.cancel()

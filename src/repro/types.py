@@ -1,0 +1,85 @@
+"""Core value types shared across the library.
+
+These are deliberately tiny: process identifiers, message identifiers and
+the application-level message record used by the atomic broadcast stacks.
+Keeping them in one leaf module avoids import cycles between the network,
+protocol and metrics packages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, NewType
+
+#: Identifier of a process in the group ``{0, 1, ..., n-1}``.
+ProcessId = NewType("ProcessId", int)
+
+#: Simulated time, in seconds.
+SimTime = float
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class MessageId:
+    """Globally unique identifier of an application (abcast) message.
+
+    The identifier orders messages deterministically: first by sender,
+    then by the sender-local sequence number. Atomic broadcast uses this
+    order to adeliver the messages of a decided batch deterministically.
+    """
+
+    sender: int
+    seq: int
+
+    def __str__(self) -> str:
+        return f"m({self.sender}:{self.seq})"
+
+
+@dataclass(frozen=True, slots=True)
+class AppMessage:
+    """An application payload handed to ``abcast``.
+
+    Attributes:
+        msg_id: Unique identifier assigned by the sending stack.
+        size: Payload size in bytes (the paper's message size ``s``).
+        abcast_time: Simulated time at which the ``abcast(m)`` event
+            completed at the sender (the paper's ``t0`` for early latency).
+        payload: Optional opaque application data. Experiments leave this
+            ``None`` and account for ``size`` only; examples use it to
+            carry real commands (e.g. key-value store operations).
+    """
+
+    msg_id: MessageId
+    size: int
+    abcast_time: SimTime
+    payload: Any = None
+
+    def __str__(self) -> str:
+        return f"{self.msg_id}[{self.size}B]"
+
+
+@dataclass(frozen=True, slots=True)
+class Batch:
+    """An ordered batch of application messages decided by one consensus.
+
+    Consensus instances agree on batches; atomic broadcast adelivers the
+    batch contents in the deterministic :class:`MessageId` order.
+    """
+
+    instance: int
+    messages: tuple[AppMessage, ...] = field(default=())
+
+    @property
+    def size_bytes(self) -> int:
+        """Total payload bytes carried by the batch."""
+        return sum(m.size for m in self.messages)
+
+    def in_delivery_order(self) -> tuple[AppMessage, ...]:
+        """Messages sorted in the canonical adelivery order."""
+        return tuple(sorted(self.messages, key=lambda m: m.msg_id))
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(m.msg_id) for m in self.messages)
+        return f"batch(k={self.instance}, [{inner}])"

@@ -1,0 +1,9 @@
+"""Workload generation (the paper's symmetric constant-rate load)."""
+
+from repro.workload.generator import (
+    AcceptListener,
+    ArrivalSchedule,
+    FlowControlledSender,
+)
+
+__all__ = ["AcceptListener", "ArrivalSchedule", "FlowControlledSender"]

@@ -1,0 +1,135 @@
+"""Symmetric workload generators (paper §5.1).
+
+Every process abcasts fixed-size messages at a constant rate; the global
+rate across all processes is the *offered load*. Attempts that hit the
+flow-control window block and are injected as soon as a slot frees — the
+paper's semantics, where the offered load is what the application tries
+to abcast and the flow-control mechanism throttles it.
+
+The early-latency clock ``t0`` of a message is the time its
+``abcast(m)`` completes, i.e. when the message actually enters the stack
+(after any flow-control blocking), matching the paper's definition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import ArrivalProcess, WorkloadConfig
+from repro.flowcontrol.window import BacklogWindow
+from repro.sim.kernel import Kernel
+from repro.stack.events import AbcastRequest
+from repro.stack.runtime import ProcessRuntime
+from repro.types import AppMessage, MessageId, SimTime
+
+#: Called when a message is accepted into the stack (for metrics).
+AcceptListener = Callable[[AppMessage], None]
+
+
+class FlowControlledSender:
+    """Per-process workload source behind a flow-control window."""
+
+    def __init__(
+        self,
+        runtime: ProcessRuntime,
+        window: BacklogWindow,
+        message_size: int,
+        *,
+        on_accept: AcceptListener | None = None,
+    ) -> None:
+        self.runtime = runtime
+        self.window = window
+        self.message_size = message_size
+        self._on_accept = on_accept
+        self._next_seq = 0
+        self._queued_attempts = 0
+        self._offered = 0
+        #: Ids of messages this sender injected and has not yet seen
+        #: adelivered locally (the messages holding window slots).
+        self._holding_slots: set[MessageId] = set()
+
+    @property
+    def offered(self) -> int:
+        """Total abcast attempts made so far."""
+        return self._offered
+
+    @property
+    def accepted(self) -> int:
+        """Attempts that entered the stack so far."""
+        return self._next_seq
+
+    @property
+    def queued(self) -> int:
+        """Attempts currently blocked by flow control."""
+        return self._queued_attempts
+
+    def offer(self) -> None:
+        """One abcast attempt (an arrival of the offered load)."""
+        self._offered += 1
+        if self.window.try_acquire():
+            self._inject()
+        else:
+            self._queued_attempts += 1
+
+    def on_own_delivery(self, message: AppMessage) -> None:
+        """Local adelivery of one of this process's own messages.
+
+        Ignores messages this sender did not inject (an application may
+        drive the same stack directly, outside the workload generator).
+        """
+        if message.msg_id not in self._holding_slots:
+            return
+        self._holding_slots.discard(message.msg_id)
+        self.window.release()
+        if self._queued_attempts > 0 and self.window.try_acquire():
+            self._queued_attempts -= 1
+            self._inject()
+
+    def _inject(self) -> None:
+        message = AppMessage(
+            msg_id=MessageId(self.runtime.pid, self._next_seq),
+            size=self.message_size,
+            abcast_time=self.runtime.kernel.now,
+        )
+        self._next_seq += 1
+        self._holding_slots.add(message.msg_id)
+        if self._on_accept is not None:
+            self._on_accept(message)
+        self.runtime.inject(AbcastRequest(message))
+
+
+class ArrivalSchedule:
+    """Schedules the offer() calls of one sender on the kernel."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        sender: FlowControlledSender,
+        workload: WorkloadConfig,
+        n: int,
+        *,
+        stop_at: SimTime,
+        rng_name: str,
+    ) -> None:
+        self._kernel = kernel
+        self._sender = sender
+        self._stop_at = stop_at
+        self._rate = workload.per_process_rate(n)
+        self._arrival = workload.arrival
+        self._rng = kernel.rng.stream(rng_name)
+        self._interval = 1.0 / self._rate
+
+    def start(self) -> None:
+        """Begin generating arrivals (with a random initial phase)."""
+        first_delay = self._rng.random() * self._interval
+        self._kernel.schedule(first_delay, self._tick)
+
+    def _tick(self) -> None:
+        if self._kernel.now > self._stop_at or not self._sender.runtime.alive:
+            return
+        self._sender.offer()
+        if self._arrival is ArrivalProcess.POISSON:
+            gap = self._rng.expovariate(self._rate)
+        else:
+            gap = self._interval
+        self._kernel.schedule(gap, self._tick)

@@ -1,0 +1,170 @@
+"""Fault-tolerance integration tests.
+
+The paper measures good runs only but requires correctness in all runs
+(§3, §4: "our optimizations focus on good runs but ensure correctness in
+all runs"). These tests inject coordinator crashes, mid-broadcast sender
+crashes and wrong suspicions into full end-to-end simulations of both
+stacks and assert the atomic broadcast contract.
+"""
+
+import pytest
+
+from repro.config import (
+    CrashEvent,
+    FailureDetectorConfig,
+    FailureDetectorKind,
+    FaultloadConfig,
+    RunConfig,
+    StackConfig,
+    StackKind,
+    WorkloadConfig,
+)
+from repro.experiments.runner import Simulation
+from repro.metrics.ordering import OrderingChecker
+
+STACKS = (StackKind.MODULAR, StackKind.MONOLITHIC)
+
+
+def faulty_config(kind, n=3, crashes=(), load=200.0, size=512, duration=2.0):
+    return RunConfig(
+        n=n,
+        stack=StackConfig(kind=kind),
+        workload=WorkloadConfig(offered_load=load, message_size=size),
+        failure_detector=FailureDetectorConfig(
+            kind=FailureDetectorKind.ORACLE, detection_delay=0.1
+        ),
+        faultload=FaultloadConfig(crashes=tuple(crashes)),
+        duration=duration,
+        warmup=0.2,
+    )
+
+
+def run_checked(config, seed=1, drain=2.0):
+    sim = Simulation(config, seed=seed)
+    checker = OrderingChecker(config.n)
+    sim.add_accept_listener(checker.on_abcast)
+    sim.add_adeliver_listener(checker.on_adeliver)
+    result = sim.run(drain=drain)
+    correct = set(range(config.n)) - config.faultload.crashed_processes()
+    checker.verify(correct=correct, expect_all_delivered=True)
+    return sim, result, checker
+
+
+@pytest.mark.parametrize("kind", STACKS)
+def test_coordinator_crash_does_not_stop_delivery(kind):
+    """p0 coordinates every instance's round 1; crashing it forces the
+    round-change machinery on every subsequent instance."""
+    config = faulty_config(kind, crashes=[CrashEvent(0.7, 0)])
+    sim, result, checker = run_checked(config)
+    survivors = (1, 2)
+    for pid in survivors:
+        deliveries = checker.sequence(pid)
+        assert deliveries
+        # Messages abcast by survivors *after* the crash are delivered
+        # (per-process rate ~67/s, crash at t=0.7 => seq ~47 at crash).
+        post_crash = [
+            mid for mid in deliveries if mid.sender in survivors and mid.seq > 100
+        ]
+        assert post_crash, "no progress after the coordinator crashed"
+
+
+@pytest.mark.parametrize("kind", STACKS)
+def test_non_coordinator_crash_is_benign(kind):
+    config = faulty_config(kind, crashes=[CrashEvent(0.7, 2)])
+    sim, result, checker = run_checked(config)
+    assert len(checker.sequence(0)) == len(checker.sequence(1))
+    assert len(checker.sequence(0)) > 200
+
+
+@pytest.mark.parametrize("kind", STACKS)
+def test_two_crashes_in_a_group_of_seven(kind):
+    config = faulty_config(
+        kind,
+        n=7,
+        crashes=[CrashEvent(0.5, 0), CrashEvent(0.9, 3)],
+        duration=2.0,
+    )
+    sim, result, checker = run_checked(config)
+    lengths = {len(checker.sequence(pid)) for pid in (1, 2, 4, 5, 6)}
+    assert len(lengths) == 1
+    assert lengths.pop() > 100
+
+
+def test_modular_sender_crash_mid_diffusion_preserves_uniform_agreement():
+    """The §3.3 scenario: a sender crashes halfway through diffusing m,
+    leaving m at a strict subset of processes. The guard timer must
+    re-diffuse it so every correct process eventually adelivers it."""
+    config = faulty_config(StackKind.MODULAR, load=50.0, duration=1.5)
+    sim = Simulation(config, seed=5)
+    checker = OrderingChecker(config.n)
+    sim.add_accept_listener(checker.on_abcast)
+    sim.add_adeliver_listener(checker.on_adeliver)
+    # Crash p1 right after the first send of one of its diffusions.
+    sim.kernel.schedule_at(0.6, lambda: sim.runtimes[1].crash_after_sends(1))
+
+    def crash_oracle_notice():
+        if not sim.runtimes[1].alive:
+            for runtime, detector in zip(sim.runtimes, sim.detectors):
+                if runtime.alive:
+                    detector.observe_crash(1)
+
+    sim.kernel.schedule_at(0.9, crash_oracle_notice)
+    sim.run(drain=2.0)
+    assert not sim.runtimes[1].alive
+    checker.verify(correct={0, 2}, expect_all_delivered=True)
+    # Both survivors have identical sequences (uniform agreement already
+    # checked; this asserts it was a non-trivial run).
+    assert checker.sequence(0) == checker.sequence(2)
+    assert len(checker.sequence(0)) > 20
+
+
+@pytest.mark.parametrize("kind", STACKS)
+def test_crash_detected_by_heartbeat_detector(kind):
+    config = faulty_config(kind, crashes=[CrashEvent(0.7, 0)]).with_changes(
+        failure_detector=FailureDetectorConfig(
+            kind=FailureDetectorKind.HEARTBEAT,
+            heartbeat_interval=0.05,
+            timeout=0.2,
+        )
+    )
+    sim, result, checker = run_checked(config)
+    assert 0 in sim.detectors[1].suspects()
+    assert len(checker.sequence(1)) > 100
+
+
+@pytest.mark.parametrize("kind", STACKS)
+def test_wrong_suspicion_of_live_coordinator_is_safe(kind):
+    """◇S detectors may be wrong; suspecting the live p0 forces round
+    changes while p0 keeps participating. Safety must hold and the
+    system must keep delivering."""
+    config = faulty_config(kind, load=300.0, duration=1.5).with_changes(
+        failure_detector=FailureDetectorConfig(kind=FailureDetectorKind.SCRIPTED)
+    )
+    sim = Simulation(config, seed=2)
+    checker = OrderingChecker(config.n)
+    sim.add_accept_listener(checker.on_abcast)
+    sim.add_adeliver_listener(checker.on_adeliver)
+    for pid in range(3):
+        sim.detectors[pid].suspect_at(0.6, 0)
+        sim.detectors[pid].unsuspect_at(1.0, 0)
+    sim.run(drain=2.0)
+    checker.verify(expect_all_delivered=True)
+    assert len(checker.sequence(0)) > 200
+    assert checker.sequence(0) == checker.sequence(1) == checker.sequence(2)
+
+
+@pytest.mark.parametrize("kind", STACKS)
+def test_crash_just_before_measurement_window(kind):
+    """Crashing during warm-up exercises start-up round changes."""
+    config = faulty_config(kind, crashes=[CrashEvent(0.1, 0)], duration=1.5)
+    sim, result, checker = run_checked(config)
+    assert len(checker.sequence(1)) > 50
+
+
+@pytest.mark.parametrize("kind", STACKS)
+def test_throughput_survives_a_crash(kind):
+    config = faulty_config(kind, crashes=[CrashEvent(1.0, 2)], load=300.0)
+    sim, result, checker = run_checked(config)
+    # Two-thirds of the offered load comes from survivors; expect at
+    # least a meaningful fraction of it to be delivered.
+    assert result.metrics.throughput > 100.0

@@ -1,0 +1,139 @@
+"""End-to-end good-run integration tests for both stacks.
+
+Every run is wrapped by the :class:`OrderingChecker`, so these tests
+verify the full atomic broadcast contract (validity, uniform agreement,
+integrity, total order) while also sanity-checking the performance
+metrics the benchmark harness relies on.
+"""
+
+import pytest
+
+from repro.config import RunConfig, StackConfig, StackKind, WorkloadConfig
+from repro.experiments.runner import Simulation
+from repro.metrics.ordering import OrderingChecker
+
+STACKS = (StackKind.MODULAR, StackKind.MONOLITHIC)
+
+
+def run_checked(config, seed=1, drain=1.0, expect_all_delivered=True):
+    """Run under the safety checker.
+
+    ``expect_all_delivered=False`` is used by saturated runs: their
+    flow-control queues hold thousands of pending attempts at cut-off,
+    so completeness (validity/uniform agreement) cannot be asserted at
+    a finite drain — prefix/total-order/integrity still are.
+    """
+    sim = Simulation(config, seed=seed)
+    checker = OrderingChecker(config.n)
+    sim.add_accept_listener(checker.on_abcast)
+    sim.add_adeliver_listener(checker.on_adeliver)
+    result = sim.run(drain=drain)
+    checker.verify(expect_all_delivered=expect_all_delivered)
+    return result, checker
+
+
+@pytest.mark.parametrize("kind", STACKS)
+@pytest.mark.parametrize("n", [2, 3, 4, 5, 7])
+def test_all_group_sizes_satisfy_abcast_properties(kind, n):
+    config = RunConfig(
+        n=n,
+        stack=StackConfig(kind=kind),
+        workload=WorkloadConfig(offered_load=300.0, message_size=512),
+        duration=0.5,
+        warmup=0.2,
+    )
+    result, checker = run_checked(config)
+    assert result.metrics.throughput > 0
+    # Everyone delivered the same non-trivial sequence.
+    lengths = {len(checker.sequence(pid)) for pid in range(n)}
+    assert lengths == {len(checker.sequence(0))}
+    assert len(checker.sequence(0)) > 50
+
+
+@pytest.mark.parametrize("kind", STACKS)
+def test_light_load_throughput_equals_offered_load(kind):
+    config = RunConfig(
+        n=3,
+        stack=StackConfig(kind=kind),
+        workload=WorkloadConfig(offered_load=400.0, message_size=1024),
+        duration=1.0,
+        warmup=0.3,
+    )
+    result, __ = run_checked(config)
+    assert result.metrics.throughput == pytest.approx(400.0, rel=0.05)
+    assert result.metrics.blocked_attempts < 40
+
+
+@pytest.mark.parametrize("kind", STACKS)
+def test_saturation_blocks_offers_and_plateaus(kind):
+    config = RunConfig(
+        n=3,
+        stack=StackConfig(kind=kind),
+        workload=WorkloadConfig(offered_load=6000.0, message_size=16384),
+        duration=1.0,
+        warmup=0.4,
+    )
+    result, __ = run_checked(config, expect_all_delivered=False)
+    assert result.metrics.throughput < 3000.0
+    assert result.metrics.blocked_attempts > 100
+    assert max(result.cpu_utilization) > 0.5
+
+
+@pytest.mark.parametrize("kind", STACKS)
+def test_empty_payloads_are_legal(kind):
+    config = RunConfig(
+        n=3,
+        stack=StackConfig(kind=kind),
+        workload=WorkloadConfig(offered_load=200.0, message_size=0),
+        duration=0.4,
+        warmup=0.2,
+    )
+    result, __ = run_checked(config)
+    assert result.metrics.throughput > 0
+
+
+def test_monolithic_beats_modular_under_load():
+    """The paper's core claim, end to end."""
+    results = {}
+    for kind in STACKS:
+        config = RunConfig(
+            n=3,
+            stack=StackConfig(kind=kind),
+            workload=WorkloadConfig(offered_load=4000.0, message_size=16384),
+            duration=1.0,
+            warmup=0.4,
+        )
+        results[kind], __ = run_checked(config, expect_all_delivered=False)
+    modular = results[StackKind.MODULAR].metrics
+    mono = results[StackKind.MONOLITHIC].metrics
+    assert mono.latency_mean < modular.latency_mean
+    assert mono.throughput > modular.throughput
+
+
+def test_stacks_are_close_at_low_load():
+    """Fig. 8: 'the latency of both implementations is relatively close
+    for small offered loads'."""
+    latencies = {}
+    for kind in STACKS:
+        config = RunConfig(
+            n=3,
+            stack=StackConfig(kind=kind),
+            workload=WorkloadConfig(offered_load=250.0, message_size=16384),
+            duration=1.0,
+            warmup=0.3,
+        )
+        result, __ = run_checked(config)
+        latencies[kind] = result.metrics.latency_mean
+    ratio = latencies[StackKind.MODULAR] / latencies[StackKind.MONOLITHIC]
+    assert ratio < 2.0  # far closer than the 2x+ gap seen at saturation
+
+
+def test_runs_reach_stationarity():
+    config = RunConfig(
+        n=3,
+        workload=WorkloadConfig(offered_load=1000.0, message_size=4096),
+        duration=1.5,
+        warmup=0.5,
+    )
+    result, __ = run_checked(config)
+    assert result.metrics.stationary

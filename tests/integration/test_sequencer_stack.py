@@ -1,0 +1,83 @@
+"""End-to-end tests of the fixed-sequencer baseline (extension)."""
+
+import pytest
+
+from repro.config import (
+    RunConfig,
+    StackConfig,
+    StackKind,
+    WorkloadConfig,
+)
+from repro.errors import ProtocolError
+from repro.experiments.runner import Simulation, run_simulation
+from repro.metrics.ordering import OrderingChecker
+
+
+def sequencer_config(**overrides):
+    fields = dict(
+        n=3,
+        stack=StackConfig(kind=StackKind.SEQUENCER),
+        workload=WorkloadConfig(offered_load=400.0, message_size=1024),
+        duration=0.6,
+        warmup=0.2,
+    )
+    fields.update(overrides)
+    return RunConfig(**fields)
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 7])
+def test_good_runs_satisfy_the_contract(n):
+    config = sequencer_config(n=n)
+    sim = Simulation(config, seed=1)
+    checker = OrderingChecker(n)
+    sim.add_accept_listener(checker.on_abcast)
+    sim.add_adeliver_listener(checker.on_adeliver)
+    result = sim.run(drain=1.0)
+    checker.verify(expect_all_delivered=True)
+    assert result.metrics.throughput == pytest.approx(400.0, rel=0.1)
+
+
+def test_sequencer_outperforms_both_stacks_at_n3():
+    """The whole point of the baseline: it bounds both stacks from above
+    (n=3, where batching cannot compensate)."""
+    results = {}
+    for kind in (StackKind.SEQUENCER, StackKind.MONOLITHIC, StackKind.MODULAR):
+        config = sequencer_config(
+            stack=StackConfig(kind=kind),
+            workload=WorkloadConfig(offered_load=7000.0, message_size=16384),
+            duration=0.8,
+            warmup=0.4,
+        )
+        results[kind] = run_simulation(config, seed=1).metrics
+    assert (
+        results[StackKind.SEQUENCER].throughput
+        > results[StackKind.MONOLITHIC].throughput
+        > results[StackKind.MODULAR].throughput
+    )
+
+
+def test_suspecting_the_sequencer_is_a_hard_error():
+    """The baseline refuses to fail over — by design, loudly."""
+    from repro.config import (
+        CrashEvent,
+        FailureDetectorConfig,
+        FailureDetectorKind,
+        FaultloadConfig,
+    )
+
+    config = sequencer_config(
+        failure_detector=FailureDetectorConfig(
+            kind=FailureDetectorKind.ORACLE, detection_delay=0.05
+        ),
+        faultload=FaultloadConfig(crashes=(CrashEvent(0.3, 0),)),
+    )
+    sim = Simulation(config, seed=1)
+    with pytest.raises(ProtocolError, match="cannot fail over"):
+        sim.run()
+
+
+def test_deterministic():
+    a = run_simulation(sequencer_config(), seed=4)
+    b = run_simulation(sequencer_config(), seed=4)
+    assert a.metrics.latency_mean == b.metrics.latency_mean
+    assert a.network == b.network

@@ -1,0 +1,38 @@
+"""Property-based tests for batch delivery ordering."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.types import AppMessage, Batch, MessageId
+
+message_ids = st.builds(
+    MessageId,
+    sender=st.integers(min_value=0, max_value=10),
+    seq=st.integers(min_value=0, max_value=1000),
+)
+
+messages = st.builds(
+    AppMessage,
+    msg_id=message_ids,
+    size=st.integers(min_value=0, max_value=65536),
+    abcast_time=st.floats(min_value=0, max_value=100, allow_nan=False),
+)
+
+
+@given(st.lists(messages, max_size=30, unique_by=lambda m: m.msg_id))
+def test_delivery_order_is_permutation_invariant(items):
+    a = Batch(0, tuple(items)).in_delivery_order()
+    b = Batch(0, tuple(reversed(items))).in_delivery_order()
+    assert a == b
+
+
+@given(st.lists(messages, max_size=30))
+def test_delivery_order_is_sorted_by_id(items):
+    ordered = Batch(0, tuple(items)).in_delivery_order()
+    ids = [m.msg_id for m in ordered]
+    assert ids == sorted(ids)
+
+
+@given(st.lists(messages, max_size=30))
+def test_size_is_sum_of_payloads(items):
+    assert Batch(0, tuple(items)).size_bytes == sum(m.size for m in items)

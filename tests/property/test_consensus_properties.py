@@ -1,0 +1,116 @@
+"""Property-based tests of the consensus safety/liveness invariants.
+
+Adversarial schedules: random delivery interleavings, a random minority
+of crashes (the coordinator included), and suspicion of every crashed
+process. Under every such schedule the optimized Chandra–Toueg
+implementation must guarantee, per instance:
+
+* **Agreement** — no two processes decide differently.
+* **Validity** — the decided value is one of the proposed values.
+* **Termination** — every correct process decides (the pump drains and
+  suspicion of crashed coordinators is eventually complete).
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus.optimized import OptimizedConsensus
+from repro.stack.events import DecideIndication, ProposeRequest
+from repro.types import AppMessage, Batch, MessageId
+
+from tests.harness import ModulePump
+
+
+def decisions(pump, pid):
+    return [e for e in pump.up_events[pid] if isinstance(e, DecideIndication)]
+
+
+def run_adversarial_instance(n, crashed, schedule_seed, crash_point):
+    """One consensus instance under an adversarial schedule."""
+    rng = random.Random(schedule_seed)
+    pump = ModulePump(lambda ctx: OptimizedConsensus(ctx), n, bridge_rbcast=True)
+    values = [
+        Batch(0, (AppMessage(MessageId(pid, 0), 16, 0.0),)) for pid in range(n)
+    ]
+    for pid in range(n):
+        pump.inject(pid, ProposeRequest(0, values[pid]))
+
+    # Deliver a random prefix of traffic, then crash the chosen minority.
+    steps_before_crash = crash_point
+    while pump.queue and steps_before_crash > 0:
+        pump.deliver_next(rng.randrange(len(pump.queue)))
+        steps_before_crash -= 1
+    for pid in crashed:
+        pump.crash(pid)
+    for pid in crashed:
+        pump.suspect_everywhere(pid)
+    pump.run(pick=lambda size: rng.randrange(size))
+    # Late, complete suspicion knowledge (◇S eventual accuracy): re-notify
+    # in case earlier suspicions raced with in-flight traffic.
+    for pid in crashed:
+        pump.suspect_everywhere(pid)
+    pump.run(pick=lambda size: rng.randrange(size))
+    return pump, values
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.sampled_from([3, 4, 5]),
+    data=st.data(),
+)
+def test_agreement_validity_termination_under_adversarial_schedules(n, data):
+    crash_count = data.draw(st.integers(min_value=0, max_value=(n - 1) // 2))
+    crashed = set(data.draw(
+        st.permutations(range(n)).map(lambda p: p[:crash_count])
+    ))
+    schedule_seed = data.draw(st.integers(min_value=0, max_value=2**20))
+    crash_point = data.draw(st.integers(min_value=0, max_value=30))
+
+    pump, values = run_adversarial_instance(n, crashed, schedule_seed, crash_point)
+
+    correct = [pid for pid in range(n) if pid not in crashed]
+    decided = {pid: decisions(pump, pid) for pid in range(n)}
+
+    # Termination: every correct process decided exactly once.
+    for pid in correct:
+        assert len(decided[pid]) == 1, f"p{pid} decided {len(decided[pid])} times"
+
+    # Agreement (uniform): every decision anywhere is the same value.
+    all_values = [d[0].value for d in decided.values() if d]
+    assert len({id(v) if not isinstance(v, Batch) else tuple(m.msg_id for m in v.messages) for v in all_values}) == 1
+
+    # Validity: the decided value is one of the initial values.
+    decided_ids = tuple(m.msg_id for m in all_values[0].messages)
+    assert decided_ids in [tuple(m.msg_id for m in v.messages) for v in values]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    schedule_seed=st.integers(min_value=0, max_value=2**20),
+    wrongly_suspected=st.sampled_from([0, 1]),
+)
+def test_wrong_suspicions_never_break_agreement(schedule_seed, wrongly_suspected):
+    """Suspecting live processes at random points is always safe."""
+    rng = random.Random(schedule_seed)
+    n = 3
+    pump = ModulePump(lambda ctx: OptimizedConsensus(ctx), n, bridge_rbcast=True)
+    values = [
+        Batch(0, (AppMessage(MessageId(pid, 0), 16, 0.0),)) for pid in range(n)
+    ]
+    for pid in range(n):
+        pump.inject(pid, ProposeRequest(0, values[pid]))
+    steps = 0
+    while pump.queue:
+        pump.deliver_next(rng.randrange(len(pump.queue)))
+        steps += 1
+        if steps == 5:
+            pump.suspect_everywhere(wrongly_suspected)
+        if steps == 12:
+            for observer in range(n):
+                pump.unsuspect(observer, wrongly_suspected)
+    decided = [decisions(pump, pid) for pid in range(n)]
+    assert all(len(d) == 1 for d in decided)
+    ids = {tuple(m.msg_id for m in d[0].value.messages) for d in decided}
+    assert len(ids) == 1

@@ -1,0 +1,50 @@
+"""Property-based tests for the event calendar."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.eventq import EventQueue
+
+schedules = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.booleans(),  # whether to cancel this event
+    ),
+    max_size=200,
+)
+
+
+@given(schedules)
+def test_pop_order_is_stable_sort_by_time(schedule):
+    q = EventQueue()
+    events = []
+    for index, (time, cancel) in enumerate(schedule):
+        handle = q.push(time, lambda: None)
+        if cancel:
+            handle.cancel()
+        else:
+            events.append((time, index))
+    popped = []
+    while (event := q.pop()) is not None:
+        popped.append(event)
+    assert [(e.time, ) for e in popped] == [(t, ) for t, __ in sorted(events)]
+    # Stability: among equal times, insertion order is preserved.
+    assert [e.seq for e in popped] == [
+        seq for __, seq in sorted(events, key=lambda x: (x[0], x[1]))
+    ]
+
+
+@given(schedules)
+def test_peek_matches_next_pop(schedule):
+    q = EventQueue()
+    for time, cancel in schedule:
+        handle = q.push(time, lambda: None)
+        if cancel:
+            handle.cancel()
+    while True:
+        peeked = q.peek_time()
+        event = q.pop()
+        if event is None:
+            assert peeked is None
+            break
+        assert peeked == event.time

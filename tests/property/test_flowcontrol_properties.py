@@ -1,0 +1,33 @@
+"""Property-based tests for the backlog window invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flowcontrol.window import BacklogWindow
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.lists(st.sampled_from(["acquire", "release"]), max_size=200),
+)
+def test_window_invariants_under_any_interleaving(capacity, operations):
+    window = BacklogWindow(capacity)
+    model_in_flight = 0
+    model_blocked = 0
+    for operation in operations:
+        if operation == "acquire":
+            granted = window.try_acquire()
+            if model_in_flight < capacity:
+                assert granted
+                model_in_flight += 1
+            else:
+                assert not granted
+                model_blocked += 1
+        else:
+            if model_in_flight > 0:
+                window.release()
+                model_in_flight -= 1
+        assert 0 <= window.in_flight <= capacity
+        assert window.in_flight == model_in_flight
+        assert window.available == capacity - model_in_flight
+    assert window.total_blocked == model_blocked

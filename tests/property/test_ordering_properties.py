@@ -1,0 +1,101 @@
+"""Property-based tests of the safety checker itself.
+
+The checker is our oracle for every integration test, so it gets its own
+adversary: any prefix family of a global order must pass, and random
+single mutations (swap, duplicate, foreign insertion) must be caught.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OrderingViolation
+from repro.metrics.ordering import OrderingChecker
+from repro.types import AppMessage, MessageId
+
+
+def build_order(length):
+    return [
+        AppMessage(MessageId(i % 3, i // 3), size=1, abcast_time=0.0)
+        for i in range(length)
+    ]
+
+
+def checker_for(global_order, prefixes):
+    checker = OrderingChecker(len(prefixes))
+    for m in global_order:
+        checker.on_abcast(m)
+    for pid, cut in enumerate(prefixes):
+        for m in global_order[:cut]:
+            checker.on_adeliver(pid, m, 0.0)
+    return checker
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    length=st.integers(min_value=0, max_value=40),
+    data=st.data(),
+)
+def test_any_prefix_family_passes(length, data):
+    order = build_order(length)
+    prefixes = data.draw(
+        st.lists(st.integers(min_value=0, max_value=length), min_size=2, max_size=5)
+    )
+    checker_for(order, prefixes).verify()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    length=st.integers(min_value=2, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_adjacent_swap_in_one_sequence_is_caught(length, seed):
+    rng = random.Random(seed)
+    order = build_order(length)
+    checker = OrderingChecker(2)
+    for m in order:
+        checker.on_abcast(m)
+    mutated = list(order)
+    index = rng.randrange(length - 1)
+    mutated[index], mutated[index + 1] = mutated[index + 1], mutated[index]
+    for m in order:
+        checker.on_adeliver(0, m, 0.0)
+    for m in mutated:
+        checker.on_adeliver(1, m, 0.0)
+    with pytest.raises(OrderingViolation):
+        checker.verify()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    length=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**20),
+)
+def test_duplicated_delivery_is_caught(length, seed):
+    rng = random.Random(seed)
+    order = build_order(length)
+    checker = OrderingChecker(1)
+    for m in order:
+        checker.on_abcast(m)
+    duplicated = list(order)
+    duplicated.append(order[rng.randrange(length)])
+    for m in duplicated:
+        checker.on_adeliver(0, m, 0.0)
+    with pytest.raises(OrderingViolation, match="integrity"):
+        checker.verify()
+
+
+@settings(max_examples=30, deadline=None)
+@given(length=st.integers(min_value=0, max_value=30))
+def test_foreign_message_is_caught(length):
+    order = build_order(length)
+    checker = OrderingChecker(1)
+    for m in order:
+        checker.on_abcast(m)
+    ghost = AppMessage(MessageId(9, 999), size=1, abcast_time=0.0)
+    for m in [*order, ghost]:
+        checker.on_adeliver(0, m, 0.0)
+    with pytest.raises(OrderingViolation, match="integrity"):
+        checker.verify()

@@ -1,0 +1,68 @@
+"""Unit tests for the stack factory."""
+
+from repro.abcast.factory import build_stack
+from repro.abcast.modular import ModularAtomicBroadcast
+from repro.abcast.monolithic import MonolithicAtomicBroadcast
+from repro.broadcast.reliable import ReliableBroadcast
+from repro.config import (
+    ConsensusVariant,
+    ReliableBroadcastVariant,
+    StackConfig,
+    StackKind,
+    modular_stack,
+    monolithic_stack,
+)
+from repro.consensus.chandra_toueg import TextbookConsensus
+from repro.consensus.optimized import OptimizedConsensus
+
+from tests.conftest import make_ctx
+
+
+def test_modular_stack_has_three_modules_in_order():
+    modules = build_stack(modular_stack(), make_ctx())
+    assert [type(m) for m in modules] == [
+        ModularAtomicBroadcast,
+        OptimizedConsensus,
+        ReliableBroadcast,
+    ]
+    assert [m.name for m in modules] == ["abcast", "consensus", "rbcast"]
+
+
+def test_monolithic_stack_is_a_single_module():
+    modules = build_stack(monolithic_stack(), make_ctx())
+    assert len(modules) == 1
+    assert isinstance(modules[0], MonolithicAtomicBroadcast)
+    assert modules[0].name == "mono"
+
+
+def test_textbook_consensus_variant():
+    config = StackConfig(kind=StackKind.MODULAR, consensus=ConsensusVariant.TEXTBOOK)
+    modules = build_stack(config, make_ctx())
+    assert isinstance(modules[1], TextbookConsensus)
+
+
+def test_rbcast_variant_is_propagated():
+    config = StackConfig(rbcast=ReliableBroadcastVariant.CLASSICAL)
+    modules = build_stack(config, make_ctx())
+    assert modules[2].variant is ReliableBroadcastVariant.CLASSICAL
+
+
+def test_max_batch_reaches_both_stacks():
+    modular = build_stack(modular_stack(), make_ctx(), max_batch=7)
+    mono = build_stack(monolithic_stack(), make_ctx(), max_batch=7)
+    assert modular[0].max_batch == 7
+    assert mono[0].max_batch == 7
+
+
+def test_guard_timeout_propagated():
+    config = StackConfig(guard_timeout=1.25)
+    modules = build_stack(config, make_ctx())
+    assert modules[0].guard_timeout == 1.25
+
+
+def test_optimization_flags_propagated():
+    from repro.config import MonolithicOptimizations
+
+    opts = MonolithicOptimizations(False, True, False)
+    modules = build_stack(monolithic_stack(opts), make_ctx())
+    assert modules[0].opts is opts

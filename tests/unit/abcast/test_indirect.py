@@ -1,0 +1,161 @@
+"""Unit tests for the indirect-consensus abcast module (extension)."""
+
+from repro.abcast.indirect import (
+    ID_WIRE_SIZE,
+    IdBatch,
+    IndirectModularAtomicBroadcast,
+    decided_ids,
+)
+from repro.stack.events import (
+    AbcastRequest,
+    AdeliverIndication,
+    DecideIndication,
+    ProposeRequest,
+    batch_wire_size,
+)
+from repro.types import Batch
+
+from tests.conftest import app_message, net_message
+from tests.harness import ModulePump
+
+
+def make_pump(n=3, max_batch=None):
+    return ModulePump(
+        lambda ctx: IndirectModularAtomicBroadcast(ctx, max_batch=max_batch), n
+    )
+
+
+def proposals(pump, pid):
+    return [e for e in pump.down_events[pid] if isinstance(e, ProposeRequest)]
+
+
+def adelivered(pump, pid):
+    return [
+        e.message.msg_id
+        for e in pump.up_events[pid]
+        if isinstance(e, AdeliverIndication)
+    ]
+
+
+def test_proposals_carry_ids_not_payloads():
+    pump = make_pump(3)
+    m = app_message(sender=0, size=16384)
+    pump.inject(0, AbcastRequest(m))
+    proposal = proposals(pump, 0)[0]
+    assert isinstance(proposal.value, IdBatch)
+    assert proposal.value.ids == (m.msg_id,)
+    # The id batch is tiny regardless of payload size.
+    assert batch_wire_size(proposal.value) == ID_WIRE_SIZE * 2
+
+
+def test_decide_with_local_content_delivers():
+    pump = make_pump(3)
+    m = app_message(sender=0)
+    pump.inject(0, AbcastRequest(m))
+    pump.inject(0, DecideIndication(0, IdBatch(0, (m.msg_id,))))
+    assert adelivered(pump, 0) == [m.msg_id]
+
+
+def test_decide_without_content_fetches_then_delivers():
+    pump = make_pump(3)
+    m = app_message(sender=1)
+    # p0 learns the order before the diffusion reached it.
+    pump.inject(0, DecideIndication(0, IdBatch(0, (m.msg_id,))))
+    fetches = [x for x in pump.deliverable() if x.kind == "FETCH"]
+    assert len(fetches) == 2
+    assert (0, "fetch") in pump.timers
+    assert adelivered(pump, 0) == []
+    # Content arrives from a peer that has it.
+    pump._execute(
+        0, pump.modules[0].handle_message(net_message("CONTENT", 1, 0, (m,)))
+    )
+    assert adelivered(pump, 0) == [m.msg_id]
+    assert (0, "fetch") not in pump.timers
+
+
+def test_fetch_answered_from_unordered_pool():
+    pump = make_pump(3)
+    m = app_message(sender=1)
+    pump.inject(1, AbcastRequest(m))  # p1 holds the content
+    while pump.deliverable():
+        pump.drop_next()  # diffusion lost (sender about to crash)
+    actions = pump.modules[1].handle_message(
+        net_message("FETCH", 0, 1, (m.msg_id,))
+    )
+    pump._execute(1, actions)
+    replies = [x for x in pump.deliverable() if x.kind == "CONTENT"]
+    assert len(replies) == 1
+    assert replies[0].payload[0].msg_id == m.msg_id
+
+
+def test_fetch_answered_from_delivered_cache():
+    pump = make_pump(3)
+    m = app_message(sender=0)
+    pump.inject(0, AbcastRequest(m))
+    pump.inject(0, DecideIndication(0, IdBatch(0, (m.msg_id,))))
+    assert adelivered(pump, 0) == [m.msg_id]  # content left the pool
+    actions = pump.modules[0].handle_message(
+        net_message("FETCH", 2, 0, (m.msg_id,))
+    )
+    pump._execute(0, actions)
+    replies = [x for x in pump.deliverable() if x.kind == "CONTENT"]
+    assert len(replies) == 1 and replies[0].dst == 2
+
+
+def test_fetch_for_unknown_id_is_silent():
+    pump = make_pump(3)
+    ghost = app_message(sender=2)
+    actions = pump.modules[0].handle_message(
+        net_message("FETCH", 1, 0, (ghost.msg_id,))
+    )
+    assert actions == []
+
+
+def test_fetch_retry_timer_reissues_requests():
+    pump = make_pump(3)
+    m = app_message(sender=1)
+    pump.inject(0, DecideIndication(0, IdBatch(0, (m.msg_id,))))
+    while pump.deliverable():
+        pump.drop_next()
+    pump.fire_timer(0, "fetch")
+    assert [x.kind for x in pump.deliverable()] == ["FETCH", "FETCH"]
+
+
+def test_stall_preserves_total_order():
+    """Decision k misses content; decision k+1 must not jump the queue."""
+    pump = make_pump(3)
+    early = app_message(sender=1)
+    late = app_message(sender=0)
+    pump.inject(0, AbcastRequest(late))  # p0 holds late's content only
+    pump.inject(0, DecideIndication(0, IdBatch(0, (early.msg_id,))))
+    pump.inject(0, DecideIndication(1, IdBatch(1, (late.msg_id,))))
+    assert adelivered(pump, 0) == []  # stalled at instance 0
+    pump._execute(
+        0, pump.modules[0].handle_message(net_message("CONTENT", 1, 0, (early,)))
+    )
+    assert adelivered(pump, 0) == [early.msg_id, late.msg_id]
+
+
+def test_plain_batch_decisions_are_accepted():
+    """Round changes can decide a plain (possibly empty) Batch."""
+    pump = make_pump(3)
+    m = app_message(sender=1)
+    pump.inject(0, DecideIndication(0, Batch(0, (m,))))
+    assert adelivered(pump, 0) == [m.msg_id]
+    pump.inject(0, DecideIndication(1, Batch(1)))
+    assert pump.modules[0].next_instance == 2
+
+
+def test_decided_ids_helper():
+    m = app_message(sender=0)
+    assert decided_ids(IdBatch(0, (m.msg_id,))) == (m.msg_id,)
+    assert decided_ids(Batch(0, (m,))) == (m.msg_id,)
+
+
+def test_batch_cap_applies_to_id_batches():
+    pump = make_pump(3, max_batch=2)
+    for __ in range(5):
+        pump.inject(0, AbcastRequest(app_message(sender=0)))
+    assert len(proposals(pump, 0)[0].value) == 1
+    pump.inject(0, DecideIndication(0, IdBatch(0, proposals(pump, 0)[0].value.ids)))
+    assert len(proposals(pump, 0)[1].value) == 2

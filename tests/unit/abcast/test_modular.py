@@ -1,0 +1,176 @@
+"""Unit tests for the modular atomic broadcast module (§3.3)."""
+
+from repro.abcast.modular import GUARD_TIMER, ModularAtomicBroadcast
+from repro.stack.events import (
+    AbcastRequest,
+    AdeliverIndication,
+    DecideIndication,
+    ProposeRequest,
+)
+from repro.types import Batch
+
+from tests.conftest import app_message
+from tests.harness import ModulePump
+
+
+def make_pump(n=3, max_batch=None):
+    return ModulePump(
+        lambda ctx: ModularAtomicBroadcast(ctx, guard_timeout=0.5, max_batch=max_batch),
+        n,
+    )
+
+
+def proposals(pump, pid):
+    return [e for e in pump.down_events[pid] if isinstance(e, ProposeRequest)]
+
+
+def adelivered(pump, pid):
+    return [
+        e.message.msg_id
+        for e in pump.up_events[pid]
+        if isinstance(e, AdeliverIndication)
+    ]
+
+
+def test_abcast_diffuses_to_everyone_and_proposes():
+    pump = make_pump(3)
+    m = app_message(sender=0)
+    pump.inject(0, AbcastRequest(m))
+    diffusions = [x for x in pump.deliverable() if x.kind == "DIFFUSE"]
+    assert {x.dst for x in diffusions} == {1, 2}
+    assert len(proposals(pump, 0)) == 1
+    assert proposals(pump, 0)[0].value.messages == (m,)
+
+
+def test_receiver_of_diffusion_proposes_too():
+    pump = make_pump(3)
+    m = app_message(sender=0)
+    pump.inject(0, AbcastRequest(m))
+    pump.run()
+    assert proposals(pump, 1) and proposals(pump, 2)
+
+
+def test_one_consensus_at_a_time():
+    pump = make_pump(3)
+    pump.inject(0, AbcastRequest(app_message(sender=0)))
+    pump.inject(0, AbcastRequest(app_message(sender=0)))
+    assert len(proposals(pump, 0)) == 1  # second message waits
+
+
+def test_decision_adelivers_in_canonical_order():
+    pump = make_pump(3)
+    late = app_message(sender=2, seq=0)
+    early = app_message(sender=0, seq=0)
+    pump.inject(0, DecideIndication(0, Batch(0, (late, early))))
+    assert adelivered(pump, 0) == [early.msg_id, late.msg_id]
+
+
+def test_decide_unblocks_next_proposal():
+    pump = make_pump(3)
+    m1 = app_message(sender=0)
+    m2 = app_message(sender=0)
+    pump.inject(0, AbcastRequest(m1))
+    pump.inject(0, AbcastRequest(m2))
+    pump.inject(0, DecideIndication(0, Batch(0, (m1,))))
+    assert adelivered(pump, 0) == [m1.msg_id]
+    assert len(proposals(pump, 0)) == 2
+    assert proposals(pump, 0)[1].instance == 1
+    assert proposals(pump, 0)[1].value.messages == (m2,)
+
+
+def test_out_of_order_decisions_are_buffered():
+    pump = make_pump(3)
+    m1 = app_message(sender=0)
+    m2 = app_message(sender=1)
+    pump.inject(0, DecideIndication(1, Batch(1, (m2,))))
+    assert adelivered(pump, 0) == []
+    pump.inject(0, DecideIndication(0, Batch(0, (m1,))))
+    assert adelivered(pump, 0) == [m1.msg_id, m2.msg_id]
+
+
+def test_duplicate_message_across_batches_not_delivered_twice():
+    pump = make_pump(3)
+    m = app_message(sender=0)
+    pump.inject(0, DecideIndication(0, Batch(0, (m,))))
+    pump.inject(0, DecideIndication(1, Batch(1, (m,))))
+    assert adelivered(pump, 0) == [m.msg_id]
+
+
+def test_duplicate_decision_for_same_instance_ignored():
+    pump = make_pump(3)
+    m = app_message(sender=0)
+    pump.inject(0, DecideIndication(0, Batch(0, (m,))))
+    pump.inject(0, DecideIndication(0, Batch(0, (m,))))
+    assert adelivered(pump, 0) == [m.msg_id]
+
+
+def test_batch_cap_limits_proposal_size():
+    pump = make_pump(3, max_batch=2)
+    messages = [app_message(sender=0) for __ in range(5)]
+    pump.inject(0, AbcastRequest(messages[0]))
+    for m in messages[1:]:
+        pump.inject(0, AbcastRequest(m))
+    assert len(proposals(pump, 0)[0].value) == 1
+    pump.inject(0, DecideIndication(0, proposals(pump, 0)[0].value))
+    assert len(proposals(pump, 0)[1].value) == 2  # capped
+
+
+def test_duplicate_diffusion_is_ignored():
+    pump = make_pump(3)
+    m = app_message(sender=0)
+    pump.inject(0, AbcastRequest(m))
+    queued = [x for x in pump.deliverable() if x.kind == "DIFFUSE" and x.dst == 1]
+    pump.run()
+    # Replay the same diffusion to p1.
+    module = pump.modules[1]
+    actions = module.handle_message(queued[0])
+    assert actions == [] or all(
+        not isinstance(a, type(proposals(pump, 1)[0])) for a in actions
+    )
+    assert len(proposals(pump, 1)) == 1
+
+
+def test_guard_timer_armed_while_messages_pending():
+    pump = make_pump(3)
+    pump.inject(0, AbcastRequest(app_message(sender=0)))
+    assert (0, GUARD_TIMER) in pump.timers
+
+
+def test_guard_timer_cancelled_when_drained():
+    pump = make_pump(3)
+    m = app_message(sender=0)
+    pump.inject(0, AbcastRequest(m))
+    pump.inject(0, DecideIndication(0, Batch(0, (m,))))
+    assert (0, GUARD_TIMER) not in pump.timers
+
+
+def test_guard_rediffuses_only_stuck_messages():
+    pump = make_pump(3)
+    m = app_message(sender=0)
+    pump.inject(0, AbcastRequest(m))
+    pump.run()  # initial diffusion consumed
+    # First firing: message arrived in the current period; not re-sent.
+    pump.fire_timer(0, GUARD_TIMER)
+    assert [x for x in pump.deliverable() if x.kind == "DIFFUSE"] == []
+    # Second firing: now the message is a full period old; re-diffused.
+    pump.fire_timer(0, GUARD_TIMER)
+    rediffused = [x for x in pump.deliverable() if x.kind == "DIFFUSE"]
+    assert {x.dst for x in rediffused} == {1, 2}
+
+
+def test_next_instance_property_tracks_decisions():
+    pump = make_pump(3)
+    module = pump.modules[0]
+    assert module.next_instance == 0
+    pump.inject(0, DecideIndication(0, Batch(0)))
+    assert module.next_instance == 1
+
+
+def test_unordered_count_property():
+    pump = make_pump(3)
+    module = pump.modules[0]
+    m = app_message(sender=0)
+    pump.inject(0, AbcastRequest(m))
+    assert module.unordered_count == 1
+    pump.inject(0, DecideIndication(0, Batch(0, (m,))))
+    assert module.unordered_count == 0

@@ -1,0 +1,89 @@
+"""Unit tests for the fixed-sequencer baseline."""
+
+import pytest
+
+from repro.abcast.sequencer import SequencerAtomicBroadcast
+from repro.errors import ProtocolError
+from repro.stack.events import AbcastRequest, AdeliverIndication
+
+from tests.conftest import app_message
+from tests.harness import ModulePump
+
+
+def make_pump(n=3):
+    return ModulePump(lambda ctx: SequencerAtomicBroadcast(ctx), n)
+
+
+def adelivered(pump, pid):
+    return [
+        e.message.msg_id
+        for e in pump.up_events[pid]
+        if isinstance(e, AdeliverIndication)
+    ]
+
+
+def test_sequencer_orders_and_delivers_locally_first():
+    pump = make_pump(3)
+    m = app_message(sender=0)
+    pump.inject(0, AbcastRequest(m))
+    assert adelivered(pump, 0) == [m.msg_id]
+    kinds = [x.kind for x in pump.deliverable()]
+    assert kinds == ["SEQUENCED", "SEQUENCED"]
+
+
+def test_non_sequencer_forwards():
+    pump = make_pump(3)
+    m = app_message(sender=1)
+    pump.inject(1, AbcastRequest(m))
+    queued = pump.deliverable()
+    assert [x.kind for x in queued] == ["TO_SEQ"]
+    assert queued[0].dst == SequencerAtomicBroadcast.SEQUENCER
+
+
+def test_total_order_across_concurrent_senders():
+    pump = make_pump(3)
+    for pid in range(3):
+        for __ in range(4):
+            pump.inject(pid, AbcastRequest(app_message(sender=pid)))
+    pump.run()
+    sequences = [adelivered(pump, pid) for pid in range(3)]
+    assert sequences[0] == sequences[1] == sequences[2]
+    assert len(sequences[0]) == 12
+
+
+def test_out_of_order_arrivals_are_buffered():
+    pump = make_pump(3)
+    m1, m2 = app_message(sender=0), app_message(sender=0)
+    pump.inject(0, AbcastRequest(m1))
+    pump.inject(0, AbcastRequest(m2))
+    # Deliver the second SEQUENCED message to p1 before the first.
+    to_p1 = [i for i, x in enumerate(pump.deliverable()) if x.dst == 1]
+    pump.deliver_next(to_p1[1])
+    assert adelivered(pump, 1) == []  # gap: held back
+    pump.run()
+    assert adelivered(pump, 1) == [m1.msg_id, m2.msg_id]
+
+
+def test_message_cost_is_n_messages():
+    """Per abcast message: 1 forward (non-sequencer) + n-1 sequenced."""
+    pump = make_pump(5)
+    pump.inject(3, AbcastRequest(app_message(sender=3)))
+    delivered = pump.run()
+    assert delivered == 1 + 4
+
+
+def test_sequencer_suspicion_refuses_to_fail_over():
+    pump = make_pump(3)
+    pump.crash(0)
+    with pytest.raises(ProtocolError, match="cannot fail over"):
+        pump.suspect(1, 0)
+
+
+def test_misrouted_to_seq_is_an_error():
+    pump = make_pump(3)
+    from tests.conftest import net_message
+
+    with pytest.raises(ProtocolError):
+        pump.modules[1].handle_message(
+            net_message("TO_SEQ", 2, 1, app_message(sender=2))
+        )

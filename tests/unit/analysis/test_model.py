@@ -1,0 +1,72 @@
+"""Unit tests for the §5.2 closed-form model — the paper's own numbers."""
+
+import pytest
+
+from repro.analysis.model import (
+    compare,
+    modular_data_per_consensus,
+    modular_messages_per_consensus,
+    modularity_data_overhead,
+    monolithic_data_per_consensus,
+    monolithic_messages_per_consensus,
+)
+from repro.errors import ConfigurationError
+
+
+def test_paper_headline_message_counts_n3():
+    """§5.2.1: n=3, M=4 -> modular 16 messages, monolithic 4."""
+    assert modular_messages_per_consensus(3, 4) == 16
+    assert monolithic_messages_per_consensus(3) == 4
+
+
+def test_paper_message_counts_n7():
+    assert modular_messages_per_consensus(7, 4) == 60
+    assert monolithic_messages_per_consensus(7) == 12
+
+
+def test_modular_count_components():
+    # (n-1) * (M + 2 + floor((n+1)/2))
+    assert modular_messages_per_consensus(5, 10) == 4 * (10 + 2 + 3)
+
+
+def test_paper_data_volumes():
+    """§5.2.2: Datamod = 2(n-1)Ml; Datamono = (n-1)(1+1/n)Ml."""
+    assert modular_data_per_consensus(3, 4, 1000) == 16000
+    assert monolithic_data_per_consensus(3, 4, 1000) == pytest.approx(
+        2 * (4 / 3) * 4 * 1000
+    )
+
+
+def test_paper_overhead_headline_numbers():
+    """50% for n=3 and 75% for n=7 — the paper's headline result."""
+    assert modularity_data_overhead(3) == pytest.approx(0.5)
+    assert modularity_data_overhead(7) == pytest.approx(0.75)
+
+
+def test_overhead_is_consistent_with_data_formulas():
+    for n in range(2, 12):
+        modular = modular_data_per_consensus(n, 4, 512)
+        mono = monolithic_data_per_consensus(n, 4, 512)
+        assert (modular - mono) / mono == pytest.approx(modularity_data_overhead(n))
+
+
+def test_overhead_approaches_one_for_large_groups():
+    assert modularity_data_overhead(99) == pytest.approx(0.98)
+
+
+def test_compare_bundles_everything():
+    c = compare(3, 4, 16384)
+    assert c.modular_messages == 16
+    assert c.monolithic_messages == 4
+    assert c.message_ratio == 4
+    assert c.data_overhead == pytest.approx(0.5)
+    assert c.modular_data == 2 * 2 * 4 * 16384
+
+
+def test_validation_of_inputs():
+    with pytest.raises(ConfigurationError):
+        modular_messages_per_consensus(1, 4)
+    with pytest.raises(ConfigurationError):
+        modular_messages_per_consensus(3, 0)
+    with pytest.raises(ConfigurationError):
+        monolithic_messages_per_consensus(0)

@@ -1,0 +1,117 @@
+"""Edge cases of the consensus machinery: tiny groups, even groups,
+interleaved instances, stale traffic."""
+
+from repro.consensus.messages import Ack, Proposal
+from repro.consensus.optimized import OptimizedConsensus
+from repro.stack.events import DecideIndication, ProposeRequest
+from repro.types import Batch
+
+from tests.conftest import app_message, net_message
+from tests.harness import ModulePump
+
+
+def make_pump(n):
+    return ModulePump(lambda ctx: OptimizedConsensus(ctx), n, bridge_rbcast=True)
+
+
+def decisions(pump, pid):
+    return [e for e in pump.up_events[pid] if isinstance(e, DecideIndication)]
+
+
+def batch_for(k, pid):
+    return Batch(k, (app_message(sender=pid),))
+
+
+def test_two_process_group_decides():
+    """n=2: majority is 2, so the coordinator needs the other's ack."""
+    pump = make_pump(2)
+    pump.inject(0, ProposeRequest(0, batch_for(0, 0)))
+    assert not decisions(pump, 0)  # own ack alone is not a majority
+    pump.run()
+    assert decisions(pump, 0) and decisions(pump, 1)
+    assert decisions(pump, 1)[0].value == decisions(pump, 0)[0].value
+
+
+def test_even_group_majority():
+    """n=4: majority is 3 — the coordinator plus two acks."""
+    pump = make_pump(4)
+    pump.inject(0, ProposeRequest(0, batch_for(0, 0)))
+    # Deliver the proposal to p1 only and its ack back: 2 < 3 majority.
+    for __ in range(2):
+        index = next(
+            i
+            for i, m in enumerate(pump.deliverable())
+            if m.dst in (0, 1) and m.kind in ("PROPOSAL", "ACK")
+        )
+        pump.deliver_next(index)
+    assert not decisions(pump, 0)
+    pump.run()
+    assert all(decisions(pump, pid) for pid in range(4))
+
+
+def test_many_interleaved_instances_decide_independently():
+    pump = make_pump(3)
+    values = {}
+    for k in range(6):
+        values[k] = batch_for(k, 0)
+        pump.inject(0, ProposeRequest(k, values[k]))
+    # Shuffle-ish delivery: always pick the last queued message.
+    while pump.queue:
+        pump.deliver_next(len(pump.queue) - 1)
+    for pid in range(3):
+        decided = {d.instance: d.value for d in decisions(pump, pid)}
+        assert decided == values
+
+
+def test_stale_proposal_from_older_round_is_not_acked():
+    pump = make_pump(3)
+    module = pump.modules[2]
+    # p2 is already in round 2 (it suspected p0 after proposing).
+    pump.inject(2, ProposeRequest(0, batch_for(0, 2)))
+    pump.suspect(2, 0)
+    assert module.instance(0).round == 2
+    stale = Proposal(0, 1, batch_for(0, 0))
+    actions = module.handle_message(net_message("PROPOSAL", 0, 2, stale))
+    acks = [a for a in actions if getattr(a, "kind", None) == "ACK"]
+    assert acks == []
+
+
+def test_ack_for_unproposed_round_is_inert():
+    pump = make_pump(3)
+    module = pump.modules[0]
+    actions = module.handle_message(net_message("ACK", 1, 0, Ack(5, 3)))
+    assert actions == []
+    assert module.instance(5).decided is None
+
+
+def test_jump_to_later_round_via_proposal():
+    pump = make_pump(5)
+    module = pump.modules[3]
+    advanced = Proposal(0, 3, batch_for(0, 2))
+    actions = module.handle_message(net_message("PROPOSAL", 2, 3, advanced))
+    assert module.instance(0).round == 3
+    acks = [a for a in actions if getattr(a, "kind", None) == "ACK"]
+    assert len(acks) == 1
+    assert acks[0].dst == 2  # the round-3 coordinator
+
+
+def test_estimate_to_decided_instance_gets_help():
+    pump = make_pump(3)
+    pump.inject(0, ProposeRequest(0, batch_for(0, 0)))
+    pump.run()
+    module = pump.modules[0]
+    from repro.consensus.messages import Estimate
+
+    actions = module.handle_message(
+        net_message("ESTIMATE", 2, 0, Estimate(0, 2, Batch(0), 0))
+    )
+    responses = [a for a in actions if getattr(a, "kind", None) == "RECOVER_RESP"]
+    assert len(responses) == 1
+    assert responses[0].dst == 2
+
+
+def test_suspicion_without_active_instances_is_harmless():
+    pump = make_pump(3)
+    pump.suspect(1, 0)
+    pump.run()
+    assert all(not decisions(pump, pid) for pid in range(3))

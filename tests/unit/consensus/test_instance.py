@@ -1,0 +1,73 @@
+"""Unit tests for per-instance consensus state."""
+
+import pytest
+
+from repro.consensus.instance import InstanceState, coordinator_of_round
+from repro.types import Batch
+
+from tests.conftest import app_message
+
+
+def test_round_one_coordinator_is_process_zero_for_every_instance():
+    for n in (3, 5, 7):
+        assert coordinator_of_round(1, n) == 0
+
+
+def test_coordinator_rotates_with_rounds():
+    assert [coordinator_of_round(r, 3) for r in (1, 2, 3, 4)] == [0, 1, 2, 0]
+
+
+def test_rounds_are_one_based():
+    with pytest.raises(ValueError):
+        coordinator_of_round(0, 3)
+
+
+def test_instance_default_coordinator_uses_current_round():
+    state = InstanceState(instance=0, n=3)
+    assert state.coordinator() == 0
+    state.round = 2
+    assert state.coordinator() == 1
+    assert state.coordinator(1) == 0
+
+
+def test_best_estimate_prefers_highest_timestamp():
+    state = InstanceState(instance=0, n=3)
+    old = Batch(0, (app_message(0),))
+    new = Batch(0, (app_message(1),))
+    state.record_estimate(2, 0, 0, old)
+    state.record_estimate(2, 1, 1, new)
+    assert state.best_estimate(2) is new
+
+
+def test_best_estimate_ts_zero_tie_prefers_larger_batch():
+    state = InstanceState(instance=0, n=3)
+    small = Batch(0, (app_message(0),))
+    big = Batch(0, (app_message(1), app_message(1)))
+    state.record_estimate(2, 2, 0, small)
+    state.record_estimate(2, 0, 0, big)
+    assert state.best_estimate(2) is big
+
+
+def test_best_estimate_full_tie_breaks_by_sender():
+    state = InstanceState(instance=0, n=3)
+    a = Batch(0, (app_message(0),))
+    b = Batch(0, (app_message(1),))
+    state.record_estimate(2, 0, 0, a)
+    state.record_estimate(2, 1, 0, b)
+    assert state.best_estimate(2) is b  # higher sender pid wins ties
+
+
+def test_best_estimate_requires_estimates():
+    state = InstanceState(instance=0, n=3)
+    with pytest.raises(ValueError):
+        state.best_estimate(2)
+
+
+def test_estimate_overwrite_by_same_sender():
+    state = InstanceState(instance=0, n=3)
+    first = Batch(0, (app_message(0),))
+    second = Batch(0, (app_message(1),))
+    state.record_estimate(2, 1, 0, first)
+    state.record_estimate(2, 1, 3, second)
+    assert state.best_estimate(2) is second
+    assert len(state.estimates[2]) == 1

@@ -1,0 +1,34 @@
+"""Unit tests for consensus wire payload size accounting."""
+
+from repro.consensus.messages import (
+    CONTROL_OVERHEAD,
+    Ack,
+    DecisionTag,
+    DecisionValue,
+    Estimate,
+    Proposal,
+    RecoveryRequest,
+)
+from repro.stack.events import batch_wire_size
+from repro.types import Batch
+
+from tests.conftest import app_message
+
+
+def test_control_messages_are_small_and_constant():
+    assert Ack(3, 1).wire_size == CONTROL_OVERHEAD
+    assert DecisionTag(3, 1).wire_size == CONTROL_OVERHEAD
+    assert RecoveryRequest(3, 1).wire_size == CONTROL_OVERHEAD
+
+
+def test_value_messages_scale_with_batch():
+    batch = Batch(0, (app_message(size=1000), app_message(size=500)))
+    expected = batch_wire_size(batch) + CONTROL_OVERHEAD
+    assert Proposal(0, 1, batch).wire_size == expected
+    assert Estimate(0, 2, batch, 1).wire_size == expected
+    assert DecisionValue(0, batch).wire_size == expected
+
+
+def test_decision_tag_much_smaller_than_decision_value():
+    batch = Batch(0, tuple(app_message(size=16384) for __ in range(4)))
+    assert DecisionTag(0, 1).wire_size * 100 < DecisionValue(0, batch).wire_size

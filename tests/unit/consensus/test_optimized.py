@@ -1,0 +1,161 @@
+"""Unit tests for the good-run-optimized consensus (§3.2)."""
+
+from repro.consensus.optimized import OptimizedConsensus
+from repro.stack.events import DecideIndication, ProposeRequest
+from repro.types import Batch
+
+from tests.conftest import app_message
+from tests.harness import ModulePump
+
+
+def make_pump(n=3):
+    return ModulePump(lambda ctx: OptimizedConsensus(ctx), n, bridge_rbcast=True)
+
+
+def decisions(pump, pid):
+    return [e for e in pump.up_events[pid] if isinstance(e, DecideIndication)]
+
+
+def propose_all(pump, k, batches):
+    for pid, batch in enumerate(batches):
+        pump.inject(pid, ProposeRequest(k, batch))
+
+
+def batches_for(k, n):
+    return [Batch(k, (app_message(sender=pid),)) for pid in range(n)]
+
+
+def test_good_run_decides_coordinator_value_everywhere():
+    pump = make_pump(3)
+    values = batches_for(0, 3)
+    propose_all(pump, 0, values)
+    pump.run()
+    for pid in range(3):
+        decided = decisions(pump, pid)
+        assert len(decided) == 1
+        assert decided[0].instance == 0
+        assert decided[0].value == values[0]  # coordinator's initial value
+
+
+def test_round_one_has_no_estimate_phase():
+    pump = make_pump(3)
+    propose_all(pump, 0, batches_for(0, 3))
+    kinds = {m.kind for m in pump.deliverable()}
+    assert "ESTIMATE" not in kinds
+    assert "PROPOSAL" in kinds
+
+
+def test_good_run_message_pattern():
+    """Proposal to n-1, acks back, then the small rbcast decision tag."""
+    pump = make_pump(3)
+    propose_all(pump, 0, batches_for(0, 3))
+    pump.run()
+    # The bridge models rbcast as n-1 deliveries; real counts are checked
+    # in the integration validation tests. Here: everyone decided once.
+    assert all(len(decisions(pump, pid)) == 1 for pid in range(3))
+
+
+def test_participant_decides_without_having_proposed():
+    pump = make_pump(3)
+    pump.inject(0, ProposeRequest(0, batches_for(0, 3)[0]))
+    pump.run()
+    # p1 and p2 never proposed, yet decide via proposal/ack/decision flow.
+    assert decisions(pump, 1) and decisions(pump, 2)
+
+
+def test_late_propose_after_decision_is_harmless():
+    pump = make_pump(3)
+    values = batches_for(0, 3)
+    pump.inject(0, ProposeRequest(0, values[0]))
+    pump.run()
+    pump.inject(1, ProposeRequest(0, values[1]))
+    pump.run()
+    assert len(decisions(pump, 1)) == 1
+    assert decisions(pump, 1)[0].value == values[0]
+
+
+def test_multiple_instances_are_independent():
+    pump = make_pump(3)
+    first = batches_for(0, 3)
+    second = batches_for(1, 3)
+    propose_all(pump, 0, first)
+    propose_all(pump, 1, second)
+    pump.run()
+    for pid in range(3):
+        decided = {d.instance: d.value for d in decisions(pump, pid)}
+        assert decided == {0: first[0], 1: second[0]}
+
+
+def test_suspected_coordinator_triggers_round_two():
+    pump = make_pump(3)
+    values = batches_for(0, 3)
+    # The coordinator is crashed before proposing.
+    pump.crash(0)
+    pump.inject(1, ProposeRequest(0, values[1]))
+    pump.inject(2, ProposeRequest(0, values[2]))
+    pump.suspect_everywhere(0)
+    pump.run()
+    # Round 2 coordinator is p1; its estimate selection must pick one of
+    # the proposed values, and both survivors decide the same.
+    d1, d2 = decisions(pump, 1), decisions(pump, 2)
+    assert d1 and d2
+    assert d1[0].value == d2[0].value
+    assert d1[0].value in (values[1], values[2])
+
+
+def test_coordinator_crash_after_partial_decision_keeps_agreement():
+    """Uniform agreement: a decided-then-crashed coordinator cannot
+    diverge from what the survivors later decide."""
+    pump = make_pump(3)
+    values = batches_for(0, 3)
+    propose_all(pump, 0, values)
+    # Deliver proposal to p1 and p2, acks back to p0 -> p0 decides and
+    # bridges the decision; drop the decision deliveries (crash).
+    while any(m.kind == "PROPOSAL" or m.kind == "ACK" for m in pump.deliverable()):
+        pump.deliver_next()
+    decided_at_0 = decisions(pump, 0)
+    assert decided_at_0, "coordinator should have decided"
+    while pump.deliverable():
+        pump.drop_next()
+    pump.crash(0)
+    pump.suspect_everywhere(0)
+    pump.run()
+    for pid in (1, 2):
+        assert decisions(pump, pid)
+        assert decisions(pump, pid)[0].value == decided_at_0[0].value
+
+
+def test_wrong_suspicion_is_safe():
+    """Suspecting a live coordinator may cost messages, never agreement."""
+    pump = make_pump(3)
+    values = batches_for(0, 3)
+    propose_all(pump, 0, values)
+    pump.suspect(1, 0)  # p1 wrongly suspects the live coordinator
+    pump.run()
+    decided = [decisions(pump, pid) for pid in range(3)]
+    assert all(decided)
+    assert len({d[0].value for d in decided}) == 1
+
+
+def test_round_change_sends_estimates_to_next_coordinator():
+    pump = make_pump(3)
+    pump.crash(0)
+    # p2 advances to round 2 and must send its estimate to p1, the round-2
+    # coordinator (p1 itself records its estimate locally, no message).
+    pump.inject(2, ProposeRequest(0, batches_for(0, 3)[2]))
+    pump.suspect(2, 0)
+    estimates = [m for m in pump.deliverable() if m.kind == "ESTIMATE"]
+    assert estimates
+    assert all(m.dst == 1 for m in estimates)
+
+
+def test_unsuspicion_then_resuspicion_converges():
+    pump = make_pump(5)
+    values = batches_for(0, 5)
+    pump.crash(0)
+    for pid in range(1, 5):
+        pump.inject(pid, ProposeRequest(0, values[pid]))
+    pump.suspect_everywhere(0)
+    pump.run()
+    final = {decisions(pump, pid)[0].value for pid in range(1, 5)}
+    assert len(final) == 1

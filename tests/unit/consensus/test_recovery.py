@@ -1,0 +1,118 @@
+"""Unit tests for the DECISION-tag recovery path (§3.2).
+
+The optimized consensus broadcasts decisions as a small tag naming the
+deciding round; a process that rdelivers the tag without holding that
+round's proposal must recover the value explicitly. The paper notes this
+can only happen when the coordinator crashes ("additional communication
+steps may be required if the coordinator crashes").
+"""
+
+from repro.consensus.base import RECOVERY_RETRY_DELAY
+from repro.consensus.messages import DecisionTag
+from repro.consensus.optimized import OptimizedConsensus
+from repro.stack.events import DecideIndication, ProposeRequest, RdeliverIndication
+from repro.types import Batch
+
+from tests.conftest import app_message
+from tests.harness import ModulePump
+
+
+def make_pump(n=3):
+    return ModulePump(lambda ctx: OptimizedConsensus(ctx), n, bridge_rbcast=True)
+
+
+def decisions(pump, pid):
+    return [e for e in pump.up_events[pid] if isinstance(e, DecideIndication)]
+
+
+def test_tag_without_proposal_triggers_recovery_request():
+    pump = make_pump(3)
+    # p2 rdelivers a decision tag for a round it never saw.
+    pump.inject(2, RdeliverIndication(DecisionTag(0, 1), 24, origin=0))
+    requests = [m for m in pump.deliverable() if m.kind == "RECOVER_REQ"]
+    assert len(requests) == 2  # asked everyone else
+    assert (2, "recover-0") in pump.timers
+
+
+def test_recovery_response_from_decided_process():
+    pump = make_pump(3)
+    value = Batch(0, (app_message(0),))
+    pump.inject(0, ProposeRequest(0, value))
+    # Let p0 and p1 complete; drop everything addressed to p2 so it
+    # misses both the proposal and the decision (as if p2 was slow).
+    while pump.deliverable():
+        head = pump.deliverable()[0]
+        if head.dst == 2:
+            pump.drop_next()
+        else:
+            pump.deliver_next()
+    assert decisions(pump, 0) and decisions(pump, 1)
+    assert not decisions(pump, 2)
+    # Now p2 learns only the tag (e.g. a late relay) and recovers.
+    pump.inject(2, RdeliverIndication(DecisionTag(0, 1), 24, origin=0))
+    pump.run()
+    assert decisions(pump, 2)
+    assert decisions(pump, 2)[0].value == value
+
+
+def test_recovery_retry_timer_re_asks():
+    pump = make_pump(3)
+    pump.inject(2, RdeliverIndication(DecisionTag(0, 1), 24, origin=0))
+    while pump.deliverable():
+        pump.drop_next()  # first round of requests is lost to crashes
+    pump.fire_timer(2, "recover-0")
+    requests = [m for m in pump.deliverable() if m.kind == "RECOVER_REQ"]
+    assert len(requests) == 2
+    assert RECOVERY_RETRY_DELAY > 0
+
+
+def test_late_proposal_completes_recovery_without_response():
+    pump = make_pump(3)
+    value = Batch(0, (app_message(0),))
+    pump.inject(2, RdeliverIndication(DecisionTag(0, 1), 24, origin=0))
+    while pump.deliverable():
+        pump.drop_next()
+    # The round-1 proposal finally arrives (it was in flight).
+    from repro.consensus.messages import Proposal
+    from tests.conftest import net_message
+
+    pump._execute(
+        2,
+        pump.modules[2].handle_message(
+            net_message("PROPOSAL", 0, 2, Proposal(0, 1, value))
+        ),
+    )
+    assert decisions(pump, 2)
+    assert decisions(pump, 2)[0].value == value
+    assert (2, "recover-0") not in pump.timers
+
+
+def test_responder_uses_tagged_round_proposal_even_if_undecided():
+    pump = make_pump(3)
+    value = Batch(0, (app_message(0),))
+    pump.inject(0, ProposeRequest(0, value))
+    # Deliver the proposal to p1 only; p1 has the proposal but not the
+    # decision.
+    while pump.deliverable():
+        head = pump.deliverable()[0]
+        if head.kind == "PROPOSAL" and head.dst == 1:
+            pump.deliver_next()
+        else:
+            pump.drop_next()
+    assert not decisions(pump, 1)
+    # p2 recovers; p1 can answer from the tagged round's proposal.
+    pump.inject(2, RdeliverIndication(DecisionTag(0, 1), 24, origin=0))
+    pump.run()
+    assert decisions(pump, 2)
+    assert decisions(pump, 2)[0].value == value
+
+
+def test_duplicate_decisions_are_idempotent():
+    pump = make_pump(3)
+    value = Batch(0, (app_message(0),))
+    pump.inject(0, ProposeRequest(0, value))
+    pump.run()
+    before = len(decisions(pump, 1))
+    pump.inject(1, RdeliverIndication(DecisionTag(0, 1), 24, origin=0))
+    pump.run()
+    assert len(decisions(pump, 1)) == before

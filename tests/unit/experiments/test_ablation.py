@@ -1,0 +1,35 @@
+"""Unit tests for the ablation experiment."""
+
+from repro.experiments.ablation import VARIANTS, ablation_table, run_ablation
+
+
+def test_variants_cover_all_single_toggles():
+    labels = [label for label, __ in VARIANTS]
+    assert labels[0].startswith("modular")
+    assert any("§4.1" in label for label in labels)
+    assert any("§4.2" in label for label in labels)
+    assert any("§4.3" in label for label in labels)
+    assert labels[-1].endswith("(paper)")
+
+
+def test_run_ablation_small():
+    rows = run_ablation(
+        n=3, offered_load=1500.0, message_size=512, seeds=(1,), duration=0.4
+    )
+    assert len(rows) == len(VARIANTS)
+    assert all(row.latency_ms > 0 for row in rows)
+    assert all(row.throughput > 0 for row in rows)
+    # The full monolithic stack uses strictly fewer messages per
+    # consensus than the modular reference.
+    modular = rows[0]
+    full_mono = rows[-1]
+    assert full_mono.messages_per_consensus < modular.messages_per_consensus
+
+
+def test_ablation_table_renders():
+    rows = run_ablation(
+        n=3, offered_load=1500.0, message_size=512, seeds=(1,), duration=0.4
+    )
+    text = ablation_table(rows)
+    assert "variant" in text
+    assert "modular (reference)" in text

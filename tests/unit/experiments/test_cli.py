@@ -1,0 +1,85 @@
+"""Unit tests for the CLI (with monkeypatched experiment drivers)."""
+
+import pytest
+
+import repro.cli as cli
+
+
+class FakeReport:
+    def __str__(self):
+        return "FAKE FIGURE REPORT"
+
+
+def test_figure_command_routes_to_driver(monkeypatch, capsys):
+    calls = {}
+
+    def fake_figure8(*, fast, seeds):
+        calls["args"] = (fast, seeds)
+        return FakeReport()
+
+    monkeypatch.setattr(cli, "figure8", fake_figure8)
+    assert cli.main(["figure8", "--fast"]) == 0
+    assert calls["args"] == (True, None)
+    assert "FAKE FIGURE REPORT" in capsys.readouterr().out
+
+
+def test_seeds_flag_builds_seed_tuple(monkeypatch):
+    seen = {}
+    monkeypatch.setattr(
+        cli, "figure9", lambda *, fast, seeds: seen.update(seeds=seeds) or FakeReport()
+    )
+    cli.main(["figure9", "--seeds", "4"])
+    assert seen["seeds"] == (1, 2, 3, 4)
+
+
+def test_figures_command_prints_all(monkeypatch, capsys):
+    monkeypatch.setattr(
+        cli, "all_figures", lambda *, fast, seeds: [FakeReport(), FakeReport()]
+    )
+    cli.main(["figures", "--fast"])
+    assert capsys.readouterr().out.count("FAKE FIGURE REPORT") == 2
+
+
+def test_analysis_command(monkeypatch, capsys):
+    monkeypatch.setattr(cli, "analytical_table", lambda: "ANALYTICAL")
+    monkeypatch.setattr(cli, "validation_table", lambda: "VALIDATION")
+    cli.main(["analysis"])
+    out = capsys.readouterr().out
+    assert "ANALYTICAL" in out and "VALIDATION" in out
+
+
+def test_ablation_command(monkeypatch, capsys):
+    monkeypatch.setattr(cli, "run_ablation", lambda seeds: ["row"])
+    monkeypatch.setattr(cli, "ablation_table", lambda rows: "ABLATION TABLE")
+    cli.main(["ablation", "--fast"])
+    assert "ABLATION TABLE" in capsys.readouterr().out
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        cli.main(["not-a-command"])
+
+
+def test_predict_command_prints_table(capsys):
+    cli.main(["predict"])
+    out = capsys.readouterr().out
+    assert "Design-time prediction" in out
+    assert "T modular" in out
+
+
+def test_csv_flag_writes_figure_data(monkeypatch, tmp_path, capsys):
+    from repro.config import RunConfig
+    from repro.experiments.figures import figure8
+    from repro.experiments.sweeps import run_load_sweep
+
+    sweep = run_load_sweep(
+        loads=(200.0,), message_size=256, group_sizes=(3,), seeds=(1,),
+        base=RunConfig(duration=0.3, warmup=0.15),
+    )
+    monkeypatch.setattr(
+        cli, "figure8", lambda *, fast, seeds: figure8(sweep)
+    )
+    cli.main(["figure8", "--csv", str(tmp_path)])
+    target = tmp_path / "figure8.csv"
+    assert target.exists()
+    assert "offered_load" in target.read_text()

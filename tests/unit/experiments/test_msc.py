@@ -1,0 +1,96 @@
+"""Unit tests for the message-sequence-chart extraction/rendering."""
+
+from repro.config import RunConfig, StackConfig, StackKind, WorkloadConfig
+from repro.experiments.msc import Arrow, extract_arrows, render_msc, summarize_kinds
+from repro.experiments.runner import Simulation
+from repro.sim.tracing import TraceRecorder
+
+
+def traced_run(kind=StackKind.MONOLITHIC):
+    trace = TraceRecorder()
+    config = RunConfig(
+        n=3,
+        stack=StackConfig(kind=kind),
+        workload=WorkloadConfig(offered_load=1000.0, message_size=512),
+        duration=0.3,
+        warmup=0.0,
+    )
+    Simulation(config, seed=2, trace=trace).run(drain=0.1)
+    return trace
+
+
+def test_arrows_pair_sends_with_receptions():
+    trace = traced_run()
+    arrows = extract_arrows(trace)
+    assert arrows
+    delivered = [a for a in arrows if a.delivered]
+    assert len(delivered) / len(arrows) > 0.95
+    for arrow in delivered[:50]:
+        assert arrow.recv_time >= arrow.send_time
+        assert arrow.src != arrow.dst
+
+
+def test_window_filters_by_send_time():
+    trace = traced_run()
+    window = extract_arrows(trace, start=0.1, end=0.15)
+    assert window
+    assert all(0.1 <= a.send_time <= 0.15 for a in window)
+
+
+def test_kind_and_module_filters():
+    trace = traced_run()
+    only_combined = extract_arrows(trace, kinds={"COMBINED"})
+    assert only_combined
+    assert {a.kind for a in only_combined} == {"COMBINED"}
+    only_mono = extract_arrows(trace, modules={"mono"})
+    assert {a.module for a in only_mono} == {"mono"}
+
+
+def test_limit_truncates_earliest_first():
+    trace = traced_run()
+    limited = extract_arrows(trace, limit=5)
+    assert len(limited) == 5
+    all_arrows = extract_arrows(trace)
+    assert limited == all_arrows[:5]
+
+
+def test_monolithic_steady_state_mix_matches_fig6():
+    """The traffic is dominated by COMBINED/ACKPIGGY pairs (Fig. 6);
+    occasional idles add a few standalone DECISIONs and FORWARDs."""
+    trace = traced_run(StackKind.MONOLITHIC)
+    histogram = summarize_kinds(extract_arrows(trace, start=0.1, end=0.25))
+    assert set(histogram) <= {"COMBINED", "ACKPIGGY", "FORWARD", "DECISION"}
+    pipeline = histogram["COMBINED"] + histogram["ACKPIGGY"]
+    stragglers = histogram.get("DECISION", 0) + histogram.get("FORWARD", 0)
+    assert pipeline > 10 * stragglers
+    assert abs(histogram["COMBINED"] - histogram["ACKPIGGY"]) <= 4
+
+
+def test_modular_steady_state_has_all_four_kinds():
+    trace = traced_run(StackKind.MODULAR)
+    histogram = summarize_kinds(extract_arrows(trace, start=0.1, end=0.25))
+    assert {"DIFFUSE", "PROPOSAL", "ACK", "RB"} <= set(histogram)
+
+
+def test_render_produces_one_line_per_arrow():
+    arrows = [
+        Arrow(0.001, 0.0015, 0, 1, "PING", "m", 100),
+        Arrow(0.002, None, 0, 2, "PING", "m", 20000),
+    ]
+    text = render_msc(arrows, n=3)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert "p0 ─PING(100B)→ p1" in lines[0]
+    assert "(lost)" in lines[1]
+    assert "20KiB" in lines[1]
+
+
+def test_render_empty_window():
+    assert "no messages" in render_msc([], n=3)
+
+
+def test_render_with_explicit_origin():
+    arrows = [Arrow(1.5, 1.6, 0, 1, "X", "m", 10)]
+    text = render_msc(arrows, n=2, origin=1.0)
+    assert "+ 500.000ms" in text or "+  500.000ms" in text.replace("  ", " ")
+    assert "arrives +600.000ms" in text

@@ -1,0 +1,62 @@
+"""Unit tests for the text rendering of figures."""
+
+import pytest
+
+from repro.config import RunConfig, StackKind
+from repro.experiments.report import format_table, gap_summary, sweep_table
+from repro.experiments.sweeps import run_load_sweep
+
+
+def test_format_table_aligns_columns():
+    text = format_table(["a", "long-header"], [["1", "2"], ["333", "4"]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert all(len(line) == len(lines[0]) for line in lines)
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep():
+    return run_load_sweep(
+        loads=(200.0, 400.0),
+        message_size=256,
+        group_sizes=(3,),
+        seeds=(1,),
+        base=RunConfig(duration=0.3, warmup=0.15),
+    )
+
+
+def test_latency_table_contains_curves_and_rows(tiny_sweep):
+    text = sweep_table(tiny_sweep, "latency", x_label="load", group_sizes=(3,))
+    assert "n=3 monolithic" in text
+    assert "n=3 modular" in text
+    assert "200" in text and "400" in text
+    assert "±" in text
+
+
+def test_throughput_table(tiny_sweep):
+    text = sweep_table(tiny_sweep, "throughput", x_label="load", group_sizes=(3,))
+    assert "load" in text.splitlines()[0]
+
+
+def test_unknown_metric_rejected(tiny_sweep):
+    with pytest.raises(ValueError):
+        sweep_table(tiny_sweep, "jitter", x_label="load")
+
+
+def test_gap_summaries(tiny_sweep):
+    latency_line = gap_summary(tiny_sweep, "latency", 400.0, 3)
+    throughput_line = gap_summary(tiny_sweep, "throughput", 400.0, 3)
+    assert "latency" in latency_line and "%" in latency_line
+    assert "throughput" in throughput_line
+
+
+def test_absent_group_sizes_are_skipped(tiny_sweep):
+    text = sweep_table(tiny_sweep, "latency", x_label="load", group_sizes=(3, 7))
+    assert "n=7" not in text
+
+
+def test_format_table_with_no_rows():
+    text = format_table(["only", "headers"], [])
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert "only" in lines[0]

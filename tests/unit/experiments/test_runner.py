@@ -1,0 +1,175 @@
+"""Unit tests for the Simulation assembly and single-run driver."""
+
+import pytest
+
+from repro.config import (
+    CrashEvent,
+    FailureDetectorConfig,
+    FailureDetectorKind,
+    FaultloadConfig,
+    RunConfig,
+    StackConfig,
+    StackKind,
+    WorkloadConfig,
+)
+from repro.experiments.runner import Simulation, run_simulation
+from repro.fd.heartbeat import HeartbeatFailureDetector
+from repro.fd.oracle import OracleFailureDetector
+
+
+def tiny(kind=StackKind.MODULAR, **overrides):
+    fields = dict(
+        n=3,
+        stack=StackConfig(kind=kind),
+        workload=WorkloadConfig(offered_load=200.0, message_size=256),
+        duration=0.4,
+        warmup=0.2,
+    )
+    fields.update(overrides)
+    return RunConfig(**fields)
+
+
+def test_run_produces_sane_metrics():
+    result = run_simulation(tiny(), seed=1)
+    assert result.metrics.latency_mean is not None
+    assert 0 < result.metrics.latency_mean < 0.1
+    assert result.metrics.throughput == pytest.approx(200.0, rel=0.15)
+    assert result.instances_decided > 0
+    assert result.events_executed > 100
+    assert len(result.cpu_utilization) == 3
+    assert all(0 <= u <= 1 for u in result.cpu_utilization)
+
+
+def test_run_result_derived_quantities():
+    result = run_simulation(tiny(), seed=1)
+    assert result.messages_per_consensus is not None
+    assert result.messages_per_consensus > 0
+    assert result.payload_bytes_per_consensus is not None
+    assert result.delivered_per_consensus is not None
+
+
+def test_monolithic_runs_too():
+    result = run_simulation(tiny(StackKind.MONOLITHIC), seed=1)
+    assert result.metrics.throughput == pytest.approx(200.0, rel=0.15)
+
+
+def test_listeners_observe_events():
+    sim = Simulation(tiny(), seed=1)
+    accepted, delivered = [], []
+    sim.add_accept_listener(accepted.append)
+    sim.add_adeliver_listener(lambda pid, m, t: delivered.append((pid, m.msg_id)))
+    sim.run()
+    assert accepted
+    assert delivered
+    delivered_ids = {mid for __, mid in delivered}
+    assert {m.msg_id for m in accepted} <= delivered_ids
+
+
+def test_faultload_crashes_the_process():
+    config = tiny(faultload=FaultloadConfig(crashes=(CrashEvent(0.3, 2),)))
+    sim = Simulation(config, seed=1)
+    result = sim.run()
+    assert not sim.runtimes[2].alive
+    assert sim.runtimes[0].alive and sim.runtimes[1].alive
+    assert result.metrics.throughput > 0
+
+
+def test_oracle_detectors_learn_about_crashes():
+    config = tiny(
+        faultload=FaultloadConfig(crashes=(CrashEvent(0.25, 2),)),
+        failure_detector=FailureDetectorConfig(
+            kind=FailureDetectorKind.ORACLE, detection_delay=0.05
+        ),
+    )
+    sim = Simulation(config, seed=1)
+    sim.run()
+    assert 2 in sim.detectors[0].suspects()
+    assert isinstance(sim.detectors[0], OracleFailureDetector)
+
+
+def test_heartbeat_detector_can_be_selected():
+    config = tiny(
+        failure_detector=FailureDetectorConfig(kind=FailureDetectorKind.HEARTBEAT)
+    )
+    sim = Simulation(config, seed=1)
+    sim.run()
+    assert isinstance(sim.detectors[0], HeartbeatFailureDetector)
+
+
+def test_without_workload_nothing_is_generated():
+    sim = Simulation(tiny(), seed=1, with_workload=False)
+    result = sim.run()
+    assert result.metrics.throughput == 0.0
+    assert result.instances_decided == 0
+
+
+def test_network_window_counters_reset_at_warmup():
+    result = run_simulation(tiny(), seed=1)
+    # Counters cover only the measurement window: at 200 msgs/s over a
+    # 0.4 s window the modular stack sends on the order of a few hundred
+    # messages, not the thousands a full run with no reset would show.
+    assert 0 < result.network["messages_sent"] < 2500
+
+
+def test_start_is_idempotent():
+    sim = Simulation(tiny(), seed=1)
+    sim.start()
+    sim.start()
+    sim.run()
+
+
+def test_non_stationary_run_warns():
+    """A run whose measurement window starts with an empty pipeline and
+    immediately saturates drifts across the window, which must emit a
+    StationarityWarning rather than pass silently."""
+    import warnings as warnings_module
+
+    from repro.errors import StationarityWarning
+
+    config = tiny(
+        workload=WorkloadConfig(offered_load=7000.0, message_size=16384),
+        warmup=0.0,  # no warm-up: the window sees the ramp-up drift
+        duration=1.0,
+    )
+    with warnings_module.catch_warnings(record=True) as caught:
+        warnings_module.simplefilter("always")
+        result = run_simulation(config, seed=1)
+    if not result.metrics.stationary:
+        assert any(issubclass(w.category, StationarityWarning) for w in caught)
+    else:  # pragma: no cover - calibration-dependent branch
+        assert not any(
+            issubclass(w.category, StationarityWarning) for w in caught
+        )
+
+
+def test_stationary_run_does_not_warn():
+    import warnings as warnings_module
+
+    from repro.errors import StationarityWarning
+
+    with warnings_module.catch_warnings(record=True) as caught:
+        warnings_module.simplefilter("always")
+        run_simulation(tiny(), seed=1)
+    assert not any(issubclass(w.category, StationarityWarning) for w in caught)
+
+
+def test_crash_is_idempotent():
+    sim = Simulation(tiny(), seed=1)
+    sim.start()
+    sim.crash(2)
+    sim.crash(2)  # second call must be a no-op
+    sim.run()
+    assert not sim.runtimes[2].alive
+
+
+def test_injecting_after_crash_is_ignored():
+    from repro.stack.events import AbcastRequest
+    from repro.types import AppMessage, MessageId
+
+    sim = Simulation(tiny(), seed=1, with_workload=False)
+    sim.start()
+    sim.crash(0)
+    message = AppMessage(MessageId(0, 0), size=10, abcast_time=0.0)
+    sim.runtimes[0].inject(AbcastRequest(message))  # must not raise
+    result = sim.run()
+    assert result.metrics.throughput == 0.0

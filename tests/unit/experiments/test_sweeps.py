@@ -1,0 +1,87 @@
+"""Unit tests for sweeps and point summaries (small grids)."""
+
+import pytest
+
+from repro.config import RunConfig, StackKind, WorkloadConfig
+from repro.experiments.runner import run_simulation
+from repro.experiments.sweeps import (
+    PAPER_GROUP_SIZES,
+    PAPER_LOADS,
+    PAPER_SIZES,
+    run_load_sweep,
+    run_size_sweep,
+    summarize_point,
+)
+
+
+def small_base():
+    return RunConfig(duration=0.3, warmup=0.15)
+
+
+def test_paper_parameter_constants():
+    assert PAPER_GROUP_SIZES == (3, 7)
+    assert 2000 in PAPER_LOADS and 7000 in PAPER_LOADS
+    assert 64 in PAPER_SIZES and 32768 in PAPER_SIZES
+
+
+def test_load_sweep_shape_and_indexing():
+    sweep = run_load_sweep(
+        loads=(200.0, 400.0),
+        message_size=256,
+        group_sizes=(3,),
+        seeds=(1,),
+        base=small_base(),
+    )
+    assert sweep.parameter == "offered_load"
+    assert len(sweep.points) == 4  # 2 loads x 2 stacks
+    series = sweep.series(3, StackKind.MODULAR)
+    assert [p.x for p in series] == [200.0, 400.0]
+    point = sweep.point(3, StackKind.MONOLITHIC, 200.0)
+    assert point.stack is StackKind.MONOLITHIC
+
+
+def test_point_lookup_missing_raises():
+    sweep = run_load_sweep(
+        loads=(200.0,), message_size=256, group_sizes=(3,), seeds=(1,),
+        base=small_base(),
+    )
+    with pytest.raises(KeyError):
+        sweep.point(3, StackKind.MODULAR, 999.0)
+
+
+def test_size_sweep_runs_both_stacks():
+    sweep = run_size_sweep(
+        sizes=(128, 1024),
+        offered_load=200.0,
+        group_sizes=(3,),
+        seeds=(1,),
+        base=small_base(),
+    )
+    assert sweep.parameter == "message_size"
+    for stack in (StackKind.MODULAR, StackKind.MONOLITHIC):
+        assert len(sweep.series(3, stack)) == 2
+
+
+def test_summary_aggregates_across_seeds():
+    config = RunConfig(
+        workload=WorkloadConfig(offered_load=200.0, message_size=256),
+        duration=0.3,
+        warmup=0.15,
+    )
+    runs = [run_simulation(config, seed=s) for s in (1, 2, 3)]
+    summary = summarize_point(3, StackKind.MODULAR, 200.0, runs)
+    assert summary.latency.count == 3
+    assert summary.throughput.count == 3
+    assert summary.latency.half_width >= 0
+    assert summary.runs == tuple(runs)
+    assert summary.delivered_per_consensus is not None
+
+
+def test_unsaturated_throughput_tracks_offered_load():
+    sweep = run_load_sweep(
+        loads=(150.0,), message_size=128, group_sizes=(3,), seeds=(1,),
+        base=small_base(),
+    )
+    for stack in (StackKind.MODULAR, StackKind.MONOLITHIC):
+        point = sweep.point(3, stack, 150.0)
+        assert point.throughput.mean == pytest.approx(150.0, rel=0.2)

@@ -1,0 +1,29 @@
+"""Unit tests for the analytical tables (§5.2)."""
+
+from repro.config import StackKind
+from repro.experiments.tables import analytical_table, validate_stack
+
+
+def test_analytical_table_contains_paper_numbers():
+    text = analytical_table()
+    assert "16" in text  # modular messages, n=3, M=4
+    assert "50%" in text
+    assert "75%" in text
+
+
+def test_validate_modular_small_run():
+    row = validate_stack(
+        3, StackKind.MODULAR, message_size=512, offered_load=2000.0, duration=0.5
+    )
+    assert row.measured_m is not None and row.measured_m > 0
+    # The steady-state simulator matches the closed form within a few %.
+    assert row.message_error < 0.10
+    assert row.payload_error < 0.15
+
+
+def test_validate_monolithic_small_run():
+    row = validate_stack(
+        3, StackKind.MONOLITHIC, message_size=512, offered_load=2000.0, duration=0.5
+    )
+    assert row.measured_messages > 0
+    assert row.message_error < 0.10

@@ -1,0 +1,44 @@
+"""Unit tests for the backlog window."""
+
+import pytest
+
+from repro.errors import FlowControlError
+from repro.flowcontrol.window import BacklogWindow
+
+
+def test_acquire_until_full():
+    window = BacklogWindow(2)
+    assert window.try_acquire()
+    assert window.try_acquire()
+    assert not window.try_acquire()
+    assert window.in_flight == 2
+    assert window.available == 0
+
+
+def test_blocked_attempts_are_counted():
+    window = BacklogWindow(1)
+    window.try_acquire()
+    window.try_acquire()
+    window.try_acquire()
+    assert window.total_blocked == 2
+
+
+def test_release_frees_a_slot():
+    window = BacklogWindow(1)
+    window.try_acquire()
+    window.release()
+    assert window.try_acquire()
+
+
+def test_release_without_acquire_is_an_error():
+    with pytest.raises(FlowControlError):
+        BacklogWindow(1).release()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(FlowControlError):
+        BacklogWindow(0)
+
+
+def test_capacity_property():
+    assert BacklogWindow(5).capacity == 5

@@ -1,0 +1,73 @@
+"""Unit tests for the statistics helpers."""
+
+import pytest
+
+from repro.errors import MetricsError
+from repro.metrics.stats import (
+    is_stationary,
+    mean,
+    mean_confidence_interval,
+    relative_difference,
+)
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+
+
+def test_mean_of_empty_raises():
+    with pytest.raises(MetricsError):
+        mean([])
+
+
+def test_confidence_interval_contains_the_mean():
+    ci = mean_confidence_interval([10.0, 12.0, 11.0, 9.0])
+    assert ci.low <= ci.mean <= ci.high
+    assert ci.mean == pytest.approx(10.5)
+    assert ci.count == 4
+    assert ci.confidence == 0.95
+
+
+def test_single_observation_has_zero_width():
+    ci = mean_confidence_interval([5.0])
+    assert ci.mean == 5.0
+    assert ci.half_width == 0.0
+
+
+def test_identical_observations_have_zero_width():
+    ci = mean_confidence_interval([3.0, 3.0, 3.0])
+    assert ci.half_width == pytest.approx(0.0)
+
+
+def test_wider_spread_gives_wider_interval():
+    narrow = mean_confidence_interval([10.0, 10.1, 9.9])
+    wide = mean_confidence_interval([5.0, 15.0, 10.0])
+    assert wide.half_width > narrow.half_width
+
+
+def test_empty_confidence_interval_raises():
+    with pytest.raises(MetricsError):
+        mean_confidence_interval([])
+
+
+def test_interval_str_format():
+    assert "±" in str(mean_confidence_interval([1.0, 2.0]))
+
+
+def test_relative_difference():
+    assert relative_difference(100.0, 110.0) == pytest.approx(10 / 110)
+    assert relative_difference(0.0, 0.0) == 0.0
+    assert relative_difference(-10.0, 10.0) == 2.0
+
+
+def test_stationarity_accepts_similar_halves():
+    assert is_stationary([1.0, 1.1], [1.05, 0.95])
+
+
+def test_stationarity_rejects_drift():
+    assert not is_stationary([1.0, 1.0], [2.0, 2.0])
+
+
+def test_stationarity_with_insufficient_data_passes():
+    assert is_stationary([], [1.0])
+    assert is_stationary([1.0], [])

@@ -1,0 +1,59 @@
+"""Unit tests for the fault injector."""
+
+from repro.net.faults import FaultInjector, FilterDecision, Verdict, deliver_all
+from repro.net.message import NetMessage
+
+
+def _msg(kind="K", src=0, dst=1):
+    return NetMessage(
+        kind=kind, module="m", src=src, dst=dst, payload=None,
+        payload_size=1, header_size=0,
+    )
+
+
+def test_default_is_deliver_with_no_delay():
+    injector = FaultInjector()
+    decision = injector.judge(_msg())
+    assert decision.verdict is Verdict.DELIVER
+    assert decision.extra_delay == 0.0
+
+
+def test_deliver_all_filter():
+    assert deliver_all(_msg()).verdict is Verdict.DELIVER
+
+
+def test_drop_matching():
+    injector = FaultInjector()
+    injector.drop_matching(lambda m: m.kind == "PROPOSAL")
+    assert injector.judge(_msg(kind="PROPOSAL")).verdict is Verdict.DROP
+    assert injector.judge(_msg(kind="ACK")).verdict is Verdict.DELIVER
+
+
+def test_delay_matching_accumulates():
+    injector = FaultInjector()
+    injector.delay_matching(lambda m: m.dst == 1, 0.1)
+    injector.delay_matching(lambda m: m.kind == "K", 0.2)
+    decision = injector.judge(_msg())
+    assert decision.verdict is Verdict.DELIVER
+    assert decision.extra_delay == 0.30000000000000004 or abs(decision.extra_delay - 0.3) < 1e-12
+
+
+def test_first_drop_wins_over_later_delays():
+    injector = FaultInjector()
+    injector.drop_matching(lambda m: True)
+    injector.delay_matching(lambda m: True, 5.0)
+    assert injector.judge(_msg()).verdict is Verdict.DROP
+
+
+def test_crashed_destination_drops_messages():
+    injector = FaultInjector()
+    injector.mark_crashed(1)
+    assert injector.judge(_msg(dst=1)).verdict is Verdict.DROP
+    assert injector.judge(_msg(dst=0, src=1)).verdict is Verdict.DELIVER
+    assert injector.is_crashed(1)
+    assert injector.crashed == frozenset({1})
+
+
+def test_filter_decision_constructors():
+    assert FilterDecision.drop().verdict is Verdict.DROP
+    assert FilterDecision.deliver(0.5).extra_delay == 0.5

@@ -1,0 +1,47 @@
+"""Unit tests for the wire message model."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.message import NetMessage
+
+
+def _msg(**overrides):
+    fields = dict(
+        kind="K", module="m", src=0, dst=1, payload=None,
+        payload_size=100, header_size=20,
+    )
+    fields.update(overrides)
+    return NetMessage(**fields)
+
+
+def test_wire_size_is_payload_plus_headers():
+    assert _msg().wire_size == 120
+
+
+def test_zero_sizes_allowed():
+    assert _msg(payload_size=0, header_size=0).wire_size == 0
+
+
+def test_negative_payload_size_rejected():
+    with pytest.raises(NetworkError):
+        _msg(payload_size=-1)
+
+
+def test_negative_header_size_rejected():
+    with pytest.raises(NetworkError):
+        _msg(header_size=-1)
+
+
+def test_self_addressed_message_rejected():
+    with pytest.raises(NetworkError):
+        _msg(src=2, dst=2)
+
+
+def test_uids_are_unique():
+    assert _msg().uid != _msg().uid
+
+
+def test_str_mentions_kind_and_route():
+    text = str(_msg())
+    assert "K" in text and "0->1" in text

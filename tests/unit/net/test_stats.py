@@ -1,0 +1,49 @@
+"""Unit tests for network statistics."""
+
+from repro.net.message import NetMessage
+from repro.net.stats import NetworkStats
+
+
+def _msg(kind="K", module="m", size=100, header=10):
+    return NetMessage(
+        kind=kind, module=module, src=0, dst=1, payload=None,
+        payload_size=size, header_size=header,
+    )
+
+
+def test_counters_accumulate():
+    stats = NetworkStats()
+    stats.on_transmit(_msg(size=100, header=10))
+    stats.on_transmit(_msg(kind="L", size=50, header=10))
+    assert stats.messages_sent == 2
+    assert stats.bytes_sent == 170
+    assert stats.payload_bytes_sent == 150
+
+
+def test_breakdown_by_kind_and_module():
+    stats = NetworkStats()
+    stats.on_transmit(_msg(kind="A", module="abcast"))
+    stats.on_transmit(_msg(kind="A", module="abcast"))
+    stats.on_transmit(_msg(kind="B", module="consensus"))
+    assert stats.messages_by_kind["A"] == 2
+    assert stats.messages_by_kind["B"] == 1
+    assert stats.messages_by_module["abcast"] == 2
+    assert stats.bytes_by_kind["A"] == 220
+
+
+def test_reset_zeroes_everything():
+    stats = NetworkStats()
+    stats.on_transmit(_msg())
+    stats.reset()
+    assert stats.messages_sent == 0
+    assert stats.bytes_sent == 0
+    assert not stats.messages_by_kind
+
+
+def test_snapshot_is_a_plain_dict_copy():
+    stats = NetworkStats()
+    stats.on_transmit(_msg(kind="A"))
+    snap = stats.snapshot()
+    stats.on_transmit(_msg(kind="A"))
+    assert snap["messages_sent"] == 1
+    assert snap["messages_by_kind"] == {"A": 1}

@@ -1,0 +1,90 @@
+"""Unit tests for the single-server CPU model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.cpu import Cpu
+from repro.sim.kernel import Kernel
+
+
+def test_work_starts_immediately_when_idle():
+    kernel = Kernel()
+    cpu = Cpu(kernel)
+    done = cpu.execute(0.5)
+    assert done == 0.5
+    assert cpu.busy_until == 0.5
+
+
+def test_work_queues_fifo_behind_earlier_work():
+    kernel = Kernel()
+    cpu = Cpu(kernel)
+    cpu.execute(1.0)
+    done = cpu.execute(0.5)
+    assert done == 1.5
+
+
+def test_callback_fires_at_completion_time():
+    kernel = Kernel()
+    cpu = Cpu(kernel)
+    completions = []
+    cpu.execute(0.25, lambda: completions.append(kernel.now))
+    cpu.execute(0.25, lambda: completions.append(kernel.now))
+    kernel.run()
+    assert completions == [0.25, 0.5]
+
+
+def test_idle_gap_is_not_worked_through():
+    kernel = Kernel()
+    cpu = Cpu(kernel)
+    cpu.execute(0.1)
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()  # now = 1.0, CPU idle since 0.1
+    done = cpu.execute(0.2)
+    assert done == pytest.approx(1.2)
+
+
+def test_busy_time_accumulates_service_only():
+    kernel = Kernel()
+    cpu = Cpu(kernel)
+    cpu.execute(0.1)
+    cpu.execute(0.3)
+    assert cpu.busy_time == pytest.approx(0.4)
+
+
+def test_utilization_is_clamped():
+    kernel = Kernel()
+    cpu = Cpu(kernel)
+    cpu.execute(2.0)
+    assert cpu.utilization(1.0) == 1.0
+    assert cpu.utilization(4.0) == pytest.approx(0.5)
+    assert cpu.utilization(0.0) == 0.0
+
+
+def test_speed_scales_service_time():
+    kernel = Kernel()
+    cpu = Cpu(kernel, speed=2.0)
+    assert cpu.execute(1.0) == pytest.approx(0.5)
+
+
+def test_negative_cost_rejected():
+    cpu = Cpu(Kernel())
+    with pytest.raises(SimulationError):
+        cpu.execute(-1.0)
+
+
+def test_invalid_speed_rejected():
+    with pytest.raises(SimulationError):
+        Cpu(Kernel(), speed=0.0)
+
+
+def test_halted_cpu_rejects_work():
+    cpu = Cpu(Kernel())
+    cpu.halt()
+    with pytest.raises(SimulationError):
+        cpu.execute(0.1)
+
+
+def test_zero_cost_work_completes_now():
+    kernel = Kernel()
+    cpu = Cpu(kernel)
+    assert cpu.execute(0.0) == 0.0

@@ -1,0 +1,65 @@
+"""Unit tests for the event calendar."""
+
+from repro.sim.eventq import EventQueue
+
+
+def test_pop_returns_events_in_time_order():
+    q = EventQueue()
+    order = []
+    q.push(3.0, lambda: order.append("c"))
+    q.push(1.0, lambda: order.append("a"))
+    q.push(2.0, lambda: order.append("b"))
+    while (event := q.pop()) is not None:
+        event.callback()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    q = EventQueue()
+    order = []
+    for tag in ("first", "second", "third"):
+        q.push(5.0, lambda t=tag: order.append(t))
+    while (event := q.pop()) is not None:
+        event.callback()
+    assert order == ["first", "second", "third"]
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    keep = q.push(1.0, lambda: "keep")
+    cancel = q.push(0.5, lambda: "cancel")
+    cancel.cancel()
+    assert q.pop() is keep
+    assert q.pop() is None
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    event = q.push(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert q.pop() is None
+
+
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    head = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    head.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_returns_none():
+    assert EventQueue().peek_time() is None
+
+
+def test_len_counts_entries():
+    q = EventQueue()
+    assert len(q) == 0
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+
+
+def test_pop_on_empty_returns_none():
+    assert EventQueue().pop() is None

@@ -1,0 +1,115 @@
+"""Unit tests for the simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+
+
+def test_run_executes_in_time_order():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(2.0, lambda: seen.append(("b", kernel.now)))
+    kernel.schedule(1.0, lambda: seen.append(("a", kernel.now)))
+    kernel.run()
+    assert seen == [("a", 1.0), ("b", 2.0)]
+
+
+def test_now_advances_to_event_times():
+    kernel = Kernel()
+    kernel.schedule(5.0, lambda: None)
+    kernel.run()
+    assert kernel.now == 5.0
+
+
+def test_run_until_stops_before_later_events():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(1.0, lambda: seen.append("early"))
+    kernel.schedule(10.0, lambda: seen.append("late"))
+    end = kernel.run(until=5.0)
+    assert seen == ["early"]
+    assert end == 5.0
+    assert kernel.now == 5.0  # fast-forwarded exactly to the horizon
+
+
+def test_run_can_resume_after_until():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(1.0, lambda: seen.append("a"))
+    kernel.schedule(3.0, lambda: seen.append("b"))
+    kernel.run(until=2.0)
+    kernel.run()
+    assert seen == ["a", "b"]
+
+
+def test_events_can_schedule_more_events():
+    kernel = Kernel()
+    seen = []
+
+    def first():
+        kernel.schedule(1.0, lambda: seen.append(kernel.now))
+
+    kernel.schedule(1.0, first)
+    kernel.run()
+    assert seen == [2.0]
+
+
+def test_stop_exits_the_loop():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(1.0, kernel.stop)
+    kernel.schedule(2.0, lambda: seen.append("should not run"))
+    kernel.run()
+    assert seen == []
+    assert kernel.pending_events == 1
+
+
+def test_negative_delay_rejected():
+    kernel = Kernel()
+    with pytest.raises(SimulationError):
+        kernel.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.schedule_at(0.5, lambda: None)
+
+
+def test_event_budget_guards_against_livelock():
+    kernel = Kernel(max_events=100)
+
+    def loop():
+        kernel.schedule(0.0, loop)
+
+    kernel.schedule(0.0, loop)
+    with pytest.raises(SimulationError, match="event budget"):
+        kernel.run()
+
+
+def test_cancelled_event_does_not_run():
+    kernel = Kernel()
+    seen = []
+    handle = kernel.schedule(1.0, lambda: seen.append("x"))
+    handle.cancel()
+    kernel.run()
+    assert seen == []
+
+
+def test_events_executed_counter():
+    kernel = Kernel()
+    for delay in (1.0, 2.0, 3.0):
+        kernel.schedule(delay, lambda: None)
+    kernel.run()
+    assert kernel.events_executed == 3
+
+
+def test_rng_is_seeded_from_kernel_seed():
+    draws_a = Kernel(seed=7).rng.stream("x").random()
+    draws_b = Kernel(seed=7).rng.stream("x").random()
+    draws_c = Kernel(seed=8).rng.stream("x").random()
+    assert draws_a == draws_b
+    assert draws_a != draws_c

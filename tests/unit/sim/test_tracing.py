@@ -1,0 +1,50 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.tracing import NullTraceRecorder, TraceRecorder
+
+
+def test_records_are_appended_and_counted():
+    trace = TraceRecorder()
+    trace.record(1.0, "net.send", 0, "x")
+    trace.record(2.0, "net.recv", 1, "y")
+    assert len(trace) == 2
+    assert trace.count("net") == 2
+    assert trace.count("net.send") == 1
+
+
+def test_select_filters_by_prefix():
+    trace = TraceRecorder()
+    trace.record(1.0, "abcast.adeliver", 0)
+    trace.record(2.0, "net.send", 0)
+    selected = list(trace.select("abcast"))
+    assert len(selected) == 1
+    assert selected[0].category == "abcast.adeliver"
+
+
+def test_disabled_recorder_drops_records():
+    trace = TraceRecorder(enabled=False)
+    trace.record(1.0, "x", 0)
+    assert len(trace) == 0
+
+
+def test_clear_empties_the_trace():
+    trace = TraceRecorder()
+    trace.record(1.0, "x", 0)
+    trace.clear()
+    assert len(trace) == 0
+
+
+def test_null_recorder_never_records():
+    trace = NullTraceRecorder()
+    trace.record(1.0, "x", 0)
+    assert len(trace) == 0
+    assert trace.enabled is False
+
+
+def test_record_fields_roundtrip():
+    trace = TraceRecorder()
+    trace.record(3.5, "fd.change", 2, frozenset({1}))
+    record = next(trace.select("fd"))
+    assert record.time == 3.5
+    assert record.process == 2
+    assert record.detail == frozenset({1})

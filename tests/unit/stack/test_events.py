@@ -1,0 +1,26 @@
+"""Unit tests for inter-module events and size accounting."""
+
+from repro.stack.events import (
+    PER_MESSAGE_OVERHEAD,
+    batch_wire_size,
+    message_wire_size,
+)
+from repro.types import Batch
+
+from tests.conftest import app_message
+
+
+def test_message_wire_size_adds_metadata_overhead():
+    m = app_message(size=100)
+    assert message_wire_size(m) == 100 + PER_MESSAGE_OVERHEAD
+
+
+def test_batch_wire_size_counts_each_entry():
+    m1 = app_message(size=100)
+    m2 = app_message(size=50)
+    batch = Batch(0, (m1, m2))
+    assert batch_wire_size(batch) == 150 + PER_MESSAGE_OVERHEAD * 3
+
+
+def test_empty_batch_still_has_frame_overhead():
+    assert batch_wire_size(Batch(0)) == PER_MESSAGE_OVERHEAD

@@ -1,0 +1,48 @@
+"""Unit tests for the Microprotocol base class and ModuleContext."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.stack.events import AbcastRequest
+from repro.stack.module import Microprotocol
+
+from tests.conftest import app_message, make_ctx, net_message
+
+
+def test_context_majority():
+    assert make_ctx(n=3).majority == 2
+    assert make_ctx(n=7).majority == 4
+    assert make_ctx(n=4).majority == 3
+
+
+def test_context_others_excludes_self():
+    ctx = make_ctx(pid=1, n=4)
+    assert ctx.others == (0, 2, 3)
+
+
+def test_context_suspicion_queries():
+    suspects = {2}
+    ctx = make_ctx(pid=0, n=3, suspects=suspects)
+    assert ctx.is_suspected(2)
+    assert not ctx.is_suspected(1)
+    suspects.discard(2)
+    assert not ctx.is_suspected(2)
+
+
+def test_default_handlers_reject_unknown_stimuli():
+    module = Microprotocol(make_ctx())
+    with pytest.raises(ProtocolError):
+        module.handle_event(AbcastRequest(app_message()))
+    with pytest.raises(ProtocolError):
+        module.handle_message(net_message("X", 1, 0))
+    with pytest.raises(ProtocolError):
+        module.handle_timer("nope", None)
+
+
+def test_default_suspicion_handler_is_a_noop():
+    module = Microprotocol(make_ctx())
+    assert module.handle_suspicion(frozenset({1})) == []
+
+
+def test_on_start_default_is_empty():
+    assert Microprotocol(make_ctx()).on_start() == []

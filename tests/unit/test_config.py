@@ -1,0 +1,106 @@
+"""Unit tests for configuration validation and helpers."""
+
+import pytest
+
+from repro.config import (
+    CpuCosts,
+    CrashEvent,
+    FaultloadConfig,
+    FlowControlConfig,
+    RunConfig,
+    StackKind,
+    WorkloadConfig,
+    modular_stack,
+    monolithic_stack,
+)
+from repro.errors import ConfigurationError
+
+
+def test_defaults_build_a_valid_config():
+    config = RunConfig()
+    assert config.n == 3
+    assert config.total_time == config.warmup + config.duration
+
+
+def test_group_size_must_be_at_least_two():
+    with pytest.raises(ConfigurationError):
+        RunConfig(n=1)
+
+
+def test_duration_must_be_positive():
+    with pytest.raises(ConfigurationError):
+        RunConfig(duration=0.0)
+
+
+def test_warmup_may_be_zero_but_not_negative():
+    assert RunConfig(warmup=0.0).warmup == 0.0
+    with pytest.raises(ConfigurationError):
+        RunConfig(warmup=-0.1)
+
+
+def test_workload_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(offered_load=0.0)
+    with pytest.raises(ConfigurationError):
+        WorkloadConfig(message_size=-1)
+
+
+def test_per_process_rate_splits_offered_load():
+    workload = WorkloadConfig(offered_load=3000.0)
+    assert workload.per_process_rate(3) == 1000.0
+
+
+def test_flow_control_validation():
+    with pytest.raises(ConfigurationError):
+        FlowControlConfig(window=0)
+    with pytest.raises(ConfigurationError):
+        FlowControlConfig(max_batch=0)
+    assert FlowControlConfig(max_batch=None).max_batch is None
+
+
+def test_crash_targets_must_exist():
+    faultload = FaultloadConfig(crashes=(CrashEvent(0.1, 5),))
+    with pytest.raises(ConfigurationError):
+        RunConfig(n=3, faultload=faultload)
+
+
+def test_majority_must_stay_correct():
+    faultload = FaultloadConfig(crashes=(CrashEvent(0.1, 0), CrashEvent(0.2, 1)))
+    with pytest.raises(ConfigurationError):
+        RunConfig(n=3, faultload=faultload)
+    # One crash out of three is fine.
+    RunConfig(n=3, faultload=FaultloadConfig(crashes=(CrashEvent(0.1, 0),)))
+
+
+def test_with_changes_replaces_fields():
+    config = RunConfig()
+    changed = config.with_changes(n=5, duration=9.0)
+    assert changed.n == 5
+    assert changed.duration == 9.0
+    assert config.n == 3  # original untouched
+
+
+def test_stack_constructors():
+    assert modular_stack().kind is StackKind.MODULAR
+    assert monolithic_stack().kind is StackKind.MONOLITHIC
+
+
+def test_send_cost_serializes_only_first_copy():
+    costs = CpuCosts(
+        send_fixed=1e-6, send_per_byte=1e-9, serialize_per_byte=10e-9
+    )
+    first = costs.send_cost(1000, first_copy=True)
+    later = costs.send_cost(1000, first_copy=False)
+    assert first == pytest.approx(1e-6 + 1e-6 + 10e-6)
+    assert later == pytest.approx(1e-6 + 1e-6)
+
+
+def test_recv_cost_scales_with_size():
+    costs = CpuCosts(recv_fixed=1e-6, recv_per_byte=1e-9)
+    assert costs.recv_cost(0) == pytest.approx(1e-6)
+    assert costs.recv_cost(1000) == pytest.approx(2e-6)
+
+
+def test_crashed_processes_set():
+    faultload = FaultloadConfig(crashes=(CrashEvent(0.1, 2), CrashEvent(0.5, 2)))
+    assert faultload.crashed_processes() == frozenset({2})

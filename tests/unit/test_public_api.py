@@ -1,0 +1,54 @@
+"""Sanity checks on the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_every_exported_name_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ exports missing {name}"
+
+
+def test_version_is_a_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.sim",
+        "repro.net",
+        "repro.fd",
+        "repro.stack",
+        "repro.broadcast",
+        "repro.consensus",
+        "repro.abcast",
+        "repro.flowcontrol",
+        "repro.workload",
+        "repro.metrics",
+        "repro.analysis",
+        "repro.experiments",
+    ],
+)
+def test_subpackages_import_and_export(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__, f"{module} lacks a module docstring"
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.__all__ exports missing {name}"
+
+
+def test_quickstart_snippet_from_the_readme():
+    from repro import RunConfig, StackConfig, StackKind, run_simulation
+
+    config = RunConfig(
+        n=3,
+        stack=StackConfig(kind=StackKind.MONOLITHIC),
+        duration=0.3,
+        warmup=0.1,
+    )
+    result = run_simulation(config, seed=1)
+    assert result.metrics.throughput > 0

@@ -1,0 +1,54 @@
+"""Unit tests for core value types."""
+
+from repro.types import AppMessage, Batch, MessageId
+
+
+def test_message_ids_order_by_sender_then_seq():
+    assert MessageId(0, 5) < MessageId(1, 0)
+    assert MessageId(1, 0) < MessageId(1, 1)
+    assert sorted([MessageId(2, 0), MessageId(0, 9), MessageId(0, 1)]) == [
+        MessageId(0, 1),
+        MessageId(0, 9),
+        MessageId(2, 0),
+    ]
+
+
+def test_message_ids_are_hashable_and_equal_by_value():
+    assert MessageId(1, 2) == MessageId(1, 2)
+    assert len({MessageId(1, 2), MessageId(1, 2), MessageId(1, 3)}) == 2
+
+
+def test_batch_size_bytes_sums_payloads():
+    m1 = AppMessage(MessageId(0, 0), size=100, abcast_time=0.0)
+    m2 = AppMessage(MessageId(1, 0), size=250, abcast_time=0.0)
+    assert Batch(0, (m1, m2)).size_bytes == 350
+
+
+def test_empty_batch():
+    batch = Batch(3)
+    assert len(batch) == 0
+    assert batch.size_bytes == 0
+    assert batch.in_delivery_order() == ()
+
+
+def test_delivery_order_is_canonical_regardless_of_insertion():
+    m = [
+        AppMessage(MessageId(2, 0), size=1, abcast_time=0.0),
+        AppMessage(MessageId(0, 1), size=1, abcast_time=0.0),
+        AppMessage(MessageId(0, 0), size=1, abcast_time=0.0),
+    ]
+    forward = Batch(0, tuple(m)).in_delivery_order()
+    backward = Batch(0, tuple(reversed(m))).in_delivery_order()
+    assert forward == backward
+    assert [x.msg_id for x in forward] == [
+        MessageId(0, 0),
+        MessageId(0, 1),
+        MessageId(2, 0),
+    ]
+
+
+def test_str_representations():
+    m = AppMessage(MessageId(1, 2), size=64, abcast_time=0.0)
+    assert "1:2" in str(m)
+    assert "64" in str(m)
+    assert "k=7" in str(Batch(7, (m,)))

@@ -1,0 +1,167 @@
+"""Unit tests for the flow-controlled workload generators."""
+
+import pytest
+
+from repro.config import (
+    ArrivalProcess,
+    CpuCosts,
+    NetworkConfig,
+    WorkloadConfig,
+)
+from repro.flowcontrol.window import BacklogWindow
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.stack.events import AbcastRequest
+from repro.stack.module import Microprotocol
+from repro.stack.runtime import ProcessRuntime
+from repro.workload.generator import ArrivalSchedule, FlowControlledSender
+
+from tests.conftest import make_ctx
+
+FAST_NET = NetworkConfig(bandwidth=1e12, propagation=1e-6)
+FREE_COSTS = CpuCosts(
+    dispatch=0.0, boundary_crossing=0.0, send_fixed=0.0, recv_fixed=0.0,
+    serialize_per_byte=0.0, send_per_byte=0.0, recv_per_byte=0.0, adeliver=0.0,
+)
+
+
+class Sink(Microprotocol):
+    """Top module that swallows abcast requests."""
+
+    name = "sink"
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.received = []
+
+    def handle_event(self, event):
+        assert isinstance(event, AbcastRequest)
+        self.received.append(event.message)
+        return []
+
+
+def build_sender(window=2, size=100):
+    kernel = Kernel(seed=3)
+    network = Network(kernel, 2, FAST_NET)
+    sink = Sink(make_ctx(pid=0, n=2))
+    runtime = ProcessRuntime(
+        0, [sink], kernel=kernel, network=network,
+        costs=FREE_COSTS, net_config=FAST_NET,
+    )
+    network.register(1, lambda m: None)
+    accepted = []
+    sender = FlowControlledSender(
+        runtime, BacklogWindow(window), size, on_accept=accepted.append
+    )
+    return kernel, sink, sender, accepted
+
+
+def test_offer_injects_when_window_open():
+    kernel, sink, sender, accepted = build_sender()
+    sender.offer()
+    assert len(sink.received) == 1
+    assert sender.accepted == 1
+    assert accepted[0].size == 100
+
+
+def test_offers_block_when_window_full():
+    kernel, sink, sender, accepted = build_sender(window=2)
+    for __ in range(5):
+        sender.offer()
+    assert sender.accepted == 2
+    assert sender.queued == 3
+    assert sender.offered == 5
+
+
+def test_own_delivery_releases_and_drains_queue():
+    kernel, sink, sender, accepted = build_sender(window=1)
+    sender.offer()
+    sender.offer()
+    assert sender.queued == 1
+    sender.on_own_delivery(accepted[0])
+    assert sender.accepted == 2
+    assert sender.queued == 0
+
+
+def test_foreign_delivery_does_not_release():
+    kernel, sink, sender, accepted = build_sender(window=1)
+    sender.offer()
+    from repro.types import AppMessage, MessageId
+
+    foreign = AppMessage(MessageId(0, 999), size=1, abcast_time=0.0)
+    sender.on_own_delivery(foreign)  # not ours: must be ignored
+    assert sender.window.in_flight == 1
+
+
+def test_duplicate_own_delivery_is_idempotent():
+    kernel, sink, sender, accepted = build_sender(window=2)
+    sender.offer()
+    sender.on_own_delivery(accepted[0])
+    sender.on_own_delivery(accepted[0])
+    assert sender.window.in_flight == 0
+
+
+def test_message_ids_are_sequential_for_this_process():
+    kernel, sink, sender, accepted = build_sender(window=10)
+    for __ in range(3):
+        sender.offer()
+    assert [m.msg_id.seq for m in accepted] == [0, 1, 2]
+    assert all(m.msg_id.sender == 0 for m in accepted)
+
+
+def test_abcast_time_is_acceptance_time():
+    kernel, sink, sender, accepted = build_sender(window=1)
+    sender.offer()
+    sender.offer()  # blocked
+    kernel.schedule(1.0, lambda: sender.on_own_delivery(accepted[0]))
+    kernel.run()
+    assert accepted[1].abcast_time == pytest.approx(1.0)
+
+
+def test_uniform_schedule_generates_expected_rate():
+    kernel, sink, sender, accepted = build_sender(window=1000)
+    workload = WorkloadConfig(offered_load=100.0, message_size=10)
+    schedule = ArrivalSchedule(
+        kernel, sender, workload, n=2, stop_at=2.0, rng_name="w"
+    )
+    schedule.start()
+    kernel.run(until=2.1)
+    # per-process rate = 50/s over 2s = ~100 arrivals.
+    assert 95 <= sender.offered <= 105
+
+
+def test_poisson_schedule_generates_expected_mean_rate():
+    kernel, sink, sender, accepted = build_sender(window=10000)
+    workload = WorkloadConfig(
+        offered_load=400.0, message_size=10, arrival=ArrivalProcess.POISSON
+    )
+    schedule = ArrivalSchedule(
+        kernel, sender, workload, n=2, stop_at=5.0, rng_name="w"
+    )
+    schedule.start()
+    kernel.run(until=5.1)
+    # mean 200/s over 5s = 1000 arrivals; allow 15% statistical slack.
+    assert 850 <= sender.offered <= 1150
+
+
+def test_schedule_stops_at_deadline():
+    kernel, sink, sender, accepted = build_sender(window=1000)
+    workload = WorkloadConfig(offered_load=100.0, message_size=10)
+    schedule = ArrivalSchedule(
+        kernel, sender, workload, n=2, stop_at=1.0, rng_name="w"
+    )
+    schedule.start()
+    kernel.run(until=10.0)
+    assert sender.offered <= 51
+
+
+def test_schedule_stops_when_process_crashes():
+    kernel, sink, sender, accepted = build_sender(window=1000)
+    workload = WorkloadConfig(offered_load=100.0, message_size=10)
+    schedule = ArrivalSchedule(
+        kernel, sender, workload, n=2, stop_at=10.0, rng_name="w"
+    )
+    schedule.start()
+    kernel.schedule(1.0, sender.runtime.crash)
+    kernel.run(until=10.0)
+    assert sender.offered <= 51
