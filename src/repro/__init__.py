@@ -25,17 +25,22 @@ from repro.config import (
     ConsensusVariant,
     CpuCosts,
     CrashEvent,
+    DelaySpike,
     FailureDetectorConfig,
     FailureDetectorKind,
     FaultloadConfig,
     FlowControlConfig,
+    LinkFaultMode,
+    LossBurst,
     MonolithicOptimizations,
     NetworkConfig,
+    PartitionEvent,
     ReliableBroadcastVariant,
     RunConfig,
     StackConfig,
     StackKind,
     WorkloadConfig,
+    WrongSuspicion,
     modular_stack,
     monolithic_stack,
 )
@@ -60,15 +65,19 @@ __all__ = [
     "ConsensusVariant",
     "CpuCosts",
     "CrashEvent",
+    "DelaySpike",
     "FailureDetectorConfig",
     "FailureDetectorKind",
     "FaultloadConfig",
     "FlowControlConfig",
+    "LinkFaultMode",
+    "LossBurst",
     "MessageId",
     "MonolithicOptimizations",
     "NetworkConfig",
     "OrderingChecker",
     "OrderingViolation",
+    "PartitionEvent",
     "ProtocolError",
     "ReliableBroadcastVariant",
     "ReproError",
@@ -79,6 +88,7 @@ __all__ = [
     "StackConfig",
     "StackKind",
     "WorkloadConfig",
+    "WrongSuspicion",
     "analytical_compare",
     "modular_stack",
     "monolithic_stack",

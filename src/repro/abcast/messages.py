@@ -9,20 +9,31 @@ transmissions:
 * :class:`Forward` — abcast messages sent straight to the coordinator
   when no consensus is in flight to piggyback on,
 * :class:`RbDecision` — the relay-emulated decision broadcast used only
-  when the §4.3 optimization is ablated away,
-* :class:`JoinRound` — a bad-run hint that a round change is underway,
-  so every correct process contributes an estimate to the new
-  coordinator (needed for majorities with n ≥ 5 after the initial
-  coordinator crashes at an otherwise idle group).
+  when the §4.3 optimization is ablated away.
+
+:class:`~repro.consensus.messages.JoinRound` used to live here but is
+now part of the shared consensus machinery (every variant broadcasts it
+on a round change); it is re-exported for compatibility.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.consensus.messages import Ack, DecisionTag, Proposal
+from repro.consensus.messages import Ack, DecisionTag, JoinRound, Proposal
 from repro.stack.events import message_wire_size
 from repro.types import AppMessage
+
+__all__ = [
+    "Ack",
+    "AckWithDiffusion",
+    "CombinedProposal",
+    "DecisionTag",
+    "Forward",
+    "JoinRound",
+    "Proposal",
+    "RbDecision",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,15 +87,3 @@ class RbDecision:
     @property
     def wire_size(self) -> int:
         return self.tag.wire_size + 8
-
-
-@dataclass(frozen=True, slots=True)
-class JoinRound:
-    """Round-change hint broadcast alongside estimates in bad runs."""
-
-    instance: int
-    round: int
-
-    @property
-    def wire_size(self) -> int:
-        return 16

@@ -39,7 +39,6 @@ from repro.abcast.messages import (
     AckWithDiffusion,
     CombinedProposal,
     Forward,
-    JoinRound,
     RbDecision,
 )
 from repro.broadcast.reliable import relay_set
@@ -274,7 +273,14 @@ class MonolithicAtomicBroadcast(BaseConsensus):
         self, sender: int, ack: AckWithDiffusion
     ) -> list[Action]:
         self._admit(ack.messages)
-        return self._on_ack(sender, ack.ack)
+        actions = self._on_ack(sender, ack.ack)
+        # The ack may be a straggler for an instance that decided on an
+        # earlier majority, in which case _on_ack is a no-op — but its
+        # piggybacked messages still need an instance to order them. A
+        # message riding the last ack of a drained pipeline would
+        # otherwise be stranded in the pool forever (validity violation).
+        actions.extend(self._maybe_start_instance())
+        return actions
 
     # -- decision announcement (overrides the rbcast of the base class) -----
 
@@ -397,23 +403,9 @@ class MonolithicAtomicBroadcast(BaseConsensus):
         self._materialize_estimate(state)
         return self._advance_past_suspects(state, self.ctx.suspects())
 
-    def _advance_round(self, state: InstanceState) -> list[Action]:
-        actions = super()._advance_round(state)
-        # Tell everyone a round change is underway so they contribute
-        # estimates too (required for majorities when n >= 5 and the
-        # group was otherwise idle).
-        join = JoinRound(state.instance, state.round)
-        actions.extend(
-            Send(dst, "JOIN", join, join.wire_size) for dst in self.ctx.others
-        )
-        return actions
-
-    def _on_join(self, sender: int, join: JoinRound) -> list[Action]:
-        state = self.instance(join.instance)
-        if state.decided is not None:
-            return self._help_decided(sender, state)
-        self._materialize_estimate(state)
-        return self._advance_past_suspects(state, self.ctx.suspects())
+    # Round advancement, JOIN broadcasting and JOIN handling are all
+    # inherited from BaseConsensus; _materialize_estimate above is the
+    # hook that folds this module's pool into the joined instance.
 
     # The base class only calls this via paths we overrode, but keep it
     # defined for completeness (ablation tests may exercise it).

@@ -11,10 +11,24 @@ Usage::
     python -m repro ablation           # per-optimization ablation (§4)
     python -m repro predict            # design-time performance prediction
     python -m repro all                # everything above
+    python -m repro nemesis            # adversarial sweep (see below)
 
 ``--fast`` uses a reduced grid and a single seed (seconds instead of
 minutes); ``--seeds N`` controls the ensemble size; ``--csv DIR`` also
 writes each regenerated figure's data as CSV into DIR.
+
+The ``nemesis`` command sweeps randomized fault schedules across the
+fault-tolerant stacks and checks the four atomic-broadcast properties
+online, plus liveness::
+
+    python -m repro nemesis --seeds 50            # randomized sweep
+    python -m repro nemesis --faultload churn     # one named scenario
+    python -m repro nemesis --faultload fl.json   # schedule from a file
+    python -m repro nemesis --replay ce.json      # re-run a counterexample
+
+On failure it shrinks the schedule to a 1-minimal counterexample,
+writes it as JSON (``--out DIR``) and prints the replay command; the
+exit code is 1 so CI fails loudly.
 """
 
 from __future__ import annotations
@@ -37,6 +51,8 @@ from repro.experiments.figures import (
 )
 from repro.experiments.report import format_table
 from repro.experiments.tables import analytical_table, validation_table
+from repro.nemesis import swarm as nemesis_swarm
+from repro.nemesis.schedule import SCENARIOS, resolve_faultload
 
 COMMANDS = (
     "figure8",
@@ -48,6 +64,7 @@ COMMANDS = (
     "ablation",
     "predict",
     "all",
+    "nemesis",
 )
 
 
@@ -101,6 +118,51 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write each regenerated figure's data as CSV into DIR",
     )
+    nemesis = parser.add_argument_group("nemesis options")
+    nemesis.add_argument(
+        "--stacks",
+        default=",".join(nemesis_swarm.DEFAULT_STACKS),
+        metavar="A,B,...",
+        help=(
+            "comma-separated stacks to sweep "
+            f"(known: {', '.join(nemesis_swarm.STACKS)})"
+        ),
+    )
+    nemesis.add_argument(
+        "--faultload",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "fixed faultload instead of randomized schedules: a named "
+            f"scenario ({', '.join(SCENARIOS)}) or a JSON file"
+        ),
+    )
+    nemesis.add_argument(
+        "--replay",
+        type=Path,
+        default=None,
+        metavar="CASE.json",
+        help="re-run one saved counterexample and report its violations",
+    )
+    nemesis.add_argument(
+        "--n",
+        type=int,
+        default=3,
+        metavar="N",
+        help="group size for nemesis runs (default: 3)",
+    )
+    nemesis.add_argument(
+        "--out",
+        type=Path,
+        default=Path("nemesis-failures"),
+        metavar="DIR",
+        help="directory for shrunk counterexample JSON files",
+    )
+    nemesis.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without shrinking them first",
+    )
     return parser
 
 
@@ -114,6 +176,75 @@ def _maybe_export(report: FigureReport, csv_dir: Path | None) -> None:
     print(f"[csv] wrote {target}")
 
 
+def _print_violations(result: "nemesis_swarm.CaseResult") -> None:
+    for violation in result.violations:
+        print(f"  {violation}")
+    trace = result.violations[-1].trace_slice if result.violations else ()
+    if trace:
+        print("  trace slice (most recent events):")
+        for line in trace[-12:]:
+            print(f"    {line}")
+
+
+def _run_nemesis(args: argparse.Namespace) -> int:
+    if args.replay is not None:
+        case = nemesis_swarm.load_case(args.replay)
+        print(f"replaying {case.describe()}")
+        result = nemesis_swarm.run_case(case)
+        if result.passed:
+            print(f"PASS: {result.deliveries} deliveries, all invariants held")
+            return 0
+        print(f"FAIL: {len(result.violations)} violation(s)")
+        _print_violations(result)
+        return 1
+
+    stacks = tuple(label for label in args.stacks.split(",") if label)
+    seed_count = args.seeds if args.seeds else 20
+    seeds = range(1, seed_count + 1)
+
+    if args.faultload is not None:
+        faultload = resolve_faultload(args.faultload, n=args.n)
+        cases = [
+            nemesis_swarm.NemesisCase(
+                stack=stack, seed=seed, n=args.n, fd="oracle", faultload=faultload
+            )
+            for seed in seeds
+            for stack in stacks
+        ]
+    else:
+        cases = [
+            nemesis_swarm.generate_case(stack, seed, args.n)
+            for seed in seeds
+            for stack in stacks
+        ]
+
+    report = nemesis_swarm.SwarmReport()
+    for case in cases:
+        result = nemesis_swarm.run_case(case)
+        report.results.append(result)
+        if not result.passed:
+            minimal = (
+                result
+                if args.no_shrink
+                else nemesis_swarm.shrink_case(case)
+            )
+            report.counterexamples.append(
+                nemesis_swarm.Counterexample(original=result, minimal=minimal)
+            )
+    print(report.summary())
+    if report.ok:
+        return 0
+    args.out.mkdir(parents=True, exist_ok=True)
+    for index, ce in enumerate(report.counterexamples):
+        case = ce.minimal.case
+        path = args.out / f"{case.stack}-seed{case.seed}-{index}.json"
+        nemesis_swarm.save_case(case, path)
+        print(f"counterexample written: {path}")
+        print(f"  replay with: {nemesis_swarm.repro_command(path)}")
+        _print_violations(ce.minimal)
+    return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -124,6 +255,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print()
 
     command = args.command
+    if command == "nemesis":
+        return _run_nemesis(args)
     if command in ("figure8", "figure9", "figure10", "figure11"):
         figure_fn = {
             "figure8": figure8,

@@ -270,15 +270,193 @@ class CrashEvent:
     process: int
 
 
+class LinkFaultMode(enum.Enum):
+    """What happens to a message caught by a partition or loss burst.
+
+    The stacks assume quasi-reliable channels (the paper's TCP): between
+    two correct processes every message eventually arrives. ``HOLD``
+    preserves that assumption — affected messages are delayed until the
+    fault heals, like TCP retransmission across a transient outage — so
+    both safety *and* liveness invariants remain checkable. ``DROP``
+    silently loses the messages (a broken channel); safety must still
+    hold in such runs, but liveness may legitimately stall, so the
+    nemesis liveness watchdog disarms itself for DROP schedules.
+    """
+
+    HOLD = "hold"
+    DROP = "drop"
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionEvent:
+    """Timed network partition with heal.
+
+    Between ``start`` and ``heal``, messages crossing group boundaries
+    are held (or dropped, per ``mode``). ``groups`` lists disjoint sets
+    of processes; all unlisted processes form one implicit "rest" group,
+    so ``groups=((0,),)`` is shorthand for isolating p0 from everyone
+    else while the others keep talking among themselves.
+    """
+
+    start: float
+    heal: float
+    groups: tuple[tuple[int, ...], ...]
+    mode: LinkFaultMode = LinkFaultMode.HOLD
+
+    def side_of(self, process: int) -> int:
+        """Index of the group containing *process* (-1 if ungrouped)."""
+        for index, group in enumerate(self.groups):
+            if process in group:
+                return index
+        return -1
+
+    def severs(self, src: int, dst: int) -> bool:
+        """Whether this partition cuts the (src, dst) link while active."""
+        return self.side_of(src) != self.side_of(dst)
+
+
+@dataclass(frozen=True, slots=True)
+class LossBurst:
+    """Per-link probabilistic message loss over a time window.
+
+    ``src``/``dst`` of ``None`` match any endpoint, so a burst can model
+    one bad link, one flaky NIC, or a globally lossy network.
+    """
+
+    start: float
+    end: float
+    probability: float
+    src: int | None = None
+    dst: int | None = None
+    mode: LinkFaultMode = LinkFaultMode.HOLD
+    #: HOLD mode: mean extra delay of a "retransmitted" message (seconds).
+    retry_delay: float = 0.2
+
+    def matches(self, src: int, dst: int) -> bool:
+        """Whether the burst applies to the (src, dst) link."""
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DelaySpike:
+    """Deterministic extra latency plus random jitter over a window."""
+
+    start: float
+    end: float
+    extra_delay: float
+    jitter: float = 0.0
+    src: int | None = None
+    dst: int | None = None
+
+    def matches(self, src: int, dst: int) -> bool:
+        """Whether the spike applies to the (src, dst) link."""
+        return (self.src is None or self.src == src) and (
+            self.dst is None or self.dst == dst
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class WrongSuspicion:
+    """Inject a wrong suspicion into one process's failure detector.
+
+    At ``time``, *observer*'s detector starts suspecting *suspect* (who
+    may be perfectly alive); the suspicion is retracted ``duration``
+    seconds later unless the suspect has actually crashed by then. This
+    exercises the round-change machinery that only ◇S-level wrongness
+    can reach.
+    """
+
+    time: float
+    observer: int
+    suspect: int
+    duration: float = 0.2
+
+
 @dataclass(frozen=True, slots=True)
 class FaultloadConfig:
     """Faults injected during a run. Empty = the paper's "good runs"."""
 
     crashes: tuple[CrashEvent, ...] = ()
+    partitions: tuple[PartitionEvent, ...] = ()
+    loss_bursts: tuple[LossBurst, ...] = ()
+    delay_spikes: tuple[DelaySpike, ...] = ()
+    wrong_suspicions: tuple[WrongSuspicion, ...] = ()
 
     def crashed_processes(self) -> frozenset[int]:
         """Set of processes that crash at some point in the run."""
         return frozenset(crash.process for crash in self.crashes)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether this is a good-run faultload (no faults at all)."""
+        return not (
+            self.crashes
+            or self.partitions
+            or self.loss_bursts
+            or self.delay_spikes
+            or self.wrong_suspicions
+        )
+
+    @property
+    def liveness_safe(self) -> bool:
+        """Whether quasi-reliable channels survive this faultload.
+
+        True when no fault permanently destroys messages between correct
+        processes (all partitions/loss bursts are HOLD mode), so the
+        liveness watchdog may legitimately demand post-heal progress.
+        """
+        return all(
+            p.mode is LinkFaultMode.HOLD for p in self.partitions
+        ) and all(b.mode is LinkFaultMode.HOLD for b in self.loss_bursts)
+
+    def last_disruption_time(self) -> float:
+        """Time after which the network and FDs are quiet again.
+
+        Crashes disrupt forever in one sense, but the protocols are
+        designed to make progress once the crash is *detected*; for the
+        watchdog's purposes a crash's disruption ends at the crash time
+        itself (detection latency is covered by the watchdog bound).
+        """
+        times = [0.0]
+        times.extend(crash.time for crash in self.crashes)
+        times.extend(p.heal for p in self.partitions)
+        times.extend(b.end for b in self.loss_bursts)
+        times.extend(s.end for s in self.delay_spikes)
+        times.extend(s.time + s.duration for s in self.wrong_suspicions)
+        return max(times)
+
+    def events(self) -> tuple[Any, ...]:
+        """All atomic fault events, in declaration order (for shrinking)."""
+        return (
+            *self.crashes,
+            *self.partitions,
+            *self.loss_bursts,
+            *self.delay_spikes,
+            *self.wrong_suspicions,
+        )
+
+    def without(self, event: Any) -> "FaultloadConfig":
+        """A copy with one atomic fault event removed (for shrinking)."""
+
+        def drop(events: tuple[Any, ...]) -> tuple[Any, ...]:
+            removed = False
+            kept = []
+            for candidate in events:
+                if not removed and candidate == event:
+                    removed = True
+                    continue
+                kept.append(candidate)
+            return tuple(kept)
+
+        return FaultloadConfig(
+            crashes=drop(self.crashes),
+            partitions=drop(self.partitions),
+            loss_bursts=drop(self.loss_bursts),
+            delay_spikes=drop(self.delay_spikes),
+            wrong_suspicions=drop(self.wrong_suspicions),
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -320,6 +498,66 @@ class RunConfig:
                 "faultload crashes a majority of processes; consensus (and the "
                 "majority reliable broadcast) require a correct majority"
             )
+        self._validate_link_faults()
+
+    def _validate_link_faults(self) -> None:
+        for partition in self.faultload.partitions:
+            if partition.heal <= partition.start:
+                raise ConfigurationError(
+                    f"partition must heal after it starts: {partition}"
+                )
+            seen: set[int] = set()
+            for group in partition.groups:
+                for process in group:
+                    if not 0 <= process < self.n:
+                        raise ConfigurationError(
+                            f"partition names unknown process {process} (n={self.n})"
+                        )
+                    if process in seen:
+                        raise ConfigurationError(
+                            f"partition groups overlap on process {process}"
+                        )
+                    seen.add(process)
+        for burst in self.faultload.loss_bursts:
+            if burst.end <= burst.start:
+                raise ConfigurationError(f"loss burst must end after start: {burst}")
+            if not 0.0 <= burst.probability <= 1.0:
+                raise ConfigurationError(
+                    f"loss probability out of [0, 1]: {burst.probability}"
+                )
+            if burst.retry_delay < 0:
+                raise ConfigurationError(
+                    f"loss retry delay must be >= 0: {burst.retry_delay}"
+                )
+            for endpoint in (burst.src, burst.dst):
+                if endpoint is not None and not 0 <= endpoint < self.n:
+                    raise ConfigurationError(
+                        f"loss burst names unknown process {endpoint} (n={self.n})"
+                    )
+        for spike in self.faultload.delay_spikes:
+            if spike.end <= spike.start:
+                raise ConfigurationError(f"delay spike must end after start: {spike}")
+            if spike.extra_delay < 0 or spike.jitter < 0:
+                raise ConfigurationError(f"delay spike must be non-negative: {spike}")
+            for endpoint in (spike.src, spike.dst):
+                if endpoint is not None and not 0 <= endpoint < self.n:
+                    raise ConfigurationError(
+                        f"delay spike names unknown process {endpoint} (n={self.n})"
+                    )
+        for suspicion in self.faultload.wrong_suspicions:
+            if suspicion.observer == suspicion.suspect:
+                raise ConfigurationError(
+                    f"process {suspicion.observer} cannot suspect itself"
+                )
+            if suspicion.duration <= 0:
+                raise ConfigurationError(
+                    f"suspicion duration must be positive: {suspicion.duration}"
+                )
+            for process in (suspicion.observer, suspicion.suspect):
+                if not 0 <= process < self.n:
+                    raise ConfigurationError(
+                        f"wrong suspicion names unknown process {process} (n={self.n})"
+                    )
 
     @property
     def total_time(self) -> float:

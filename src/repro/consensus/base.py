@@ -33,6 +33,7 @@ from repro.consensus.messages import (
     DecisionTag,
     DecisionValue,
     Estimate,
+    JoinRound,
     Proposal,
     RecoveryRequest,
 )
@@ -102,6 +103,8 @@ class BaseConsensus(Microprotocol):
             return self._on_proposal(message.src, payload)
         if message.kind == "ACK":
             return self._on_ack(message.src, payload)
+        if message.kind == "JOIN":
+            return self._on_join(message.src, payload)
         if message.kind == "RECOVER_REQ":
             return self._on_recovery_request(message.src, payload)
         if message.kind == "RECOVER_RESP":
@@ -254,8 +257,43 @@ class BaseConsensus(Microprotocol):
             state.record_estimate(
                 state.round, self.ctx.pid, estimate.ts, estimate.value
             )
-            return self._maybe_propose_round(state, state.round)
-        return [Send(new_coordinator, "ESTIMATE", estimate, estimate.wire_size)]
+            actions = self._maybe_propose_round(state, state.round)
+        else:
+            actions = [Send(new_coordinator, "ESTIMATE", estimate, estimate.wire_size)]
+        # Announce the round change so every correct process catches up
+        # and contributes an estimate — even processes that do not
+        # themselves suspect anyone (see JoinRound).
+        join = JoinRound(state.instance, state.round)
+        actions.extend(
+            Send(dst, "JOIN", join, join.wire_size) for dst in self.ctx.others
+        )
+        return actions
+
+    def _on_join(self, sender: int, join: JoinRound) -> list[Action]:
+        """Catch up to a round another process already advanced to.
+
+        Joining a higher round unconditionally is safe (safety rests on
+        majority locking, not on who advances when) and is what makes
+        the lazy-rounds optimization live: the round's coordinator needs
+        a majority of estimates, and only the processes that suspected
+        would otherwise supply them. Decided instances answer with the
+        decision instead, as for any laggard traffic.
+        """
+        state = self.instance(join.instance)
+        if state.decided is not None:
+            return self._help_decided(sender, state)
+        self._materialize_estimate(state)
+        actions: list[Action] = []
+        while state.decided is None and state.round < join.round:
+            actions.extend(self._advance_round(state))
+        actions.extend(self._advance_past_suspects(state, self.ctx.suspects()))
+        return actions
+
+    def _materialize_estimate(self, state: InstanceState) -> None:
+        """Hook: adopt pending local input as the instance's estimate
+        before joining a round (the monolithic module overrides this to
+        fold its message pool in; the modular variants keep estimates
+        purely propose-driven)."""
 
     # -- decisions and recovery ---------------------------------------------
 

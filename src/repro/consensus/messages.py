@@ -20,6 +20,24 @@ CONTROL_OVERHEAD = 24
 
 
 @dataclass(frozen=True, slots=True)
+class JoinRound:
+    """Bad-run hint, broadcast when a process advances its round: a
+    round change is underway, so every correct process must catch up and
+    contribute an estimate to the new coordinator — even processes that
+    do not themselves suspect anyone. Without it, a single wrong
+    suspicion can strand the group across two rounds with a majority in
+    neither (the suspecter waits for estimates that never come while
+    everyone else waits for a round the suspecter already left)."""
+
+    instance: int
+    round: int
+
+    @property
+    def wire_size(self) -> int:
+        return 16
+
+
+@dataclass(frozen=True, slots=True)
 class Estimate:
     """Phase-1 message: a process's current estimate, sent to the round
     coordinator (only in rounds ≥ 2 for the optimized variant)."""

@@ -58,6 +58,16 @@ class OrderingViolation(ReproError):
     """
 
 
+class LivenessViolation(ReproError):
+    """Raised by the nemesis liveness watchdog when progress stalls.
+
+    Emitted when, after the last injected fault has healed, correct
+    processes hold undelivered messages yet make no delivery progress
+    within the configured bound. The message carries the outstanding
+    message ids and a slice of the recent event trace.
+    """
+
+
 class StationarityWarning(UserWarning):
     """Warning emitted when a run did not reach a stationary state.
 

@@ -24,6 +24,8 @@ from repro.fd.oracle import OracleFailureDetector
 from repro.fd.scripted import ScriptedFailureDetector
 from repro.flowcontrol.window import BacklogWindow
 from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.nemesis.partitions import install_link_faults
+from repro.nemesis.suspicion import install_wrong_suspicions
 from repro.net.faults import FaultInjector
 from repro.net.network import Network
 from repro.net.stats import NetworkStats
@@ -88,6 +90,7 @@ class Simulation:
         *,
         trace: TraceRecorder | None = None,
         with_workload: bool = True,
+        stack_factory: Callable | None = None,
     ) -> None:
         self.config = config
         self.seed = seed
@@ -95,6 +98,14 @@ class Simulation:
         self.trace = trace
         self.stats = NetworkStats()
         self.faults = FaultInjector()
+        #: Optional override of :func:`~repro.abcast.factory.build_stack`
+        #: with the same signature; the nemesis swarm uses it to inject
+        #: deliberately-broken stacks as test fixtures.
+        self._stack_factory = stack_factory if stack_factory is not None else build_stack
+        # Link-level faults (partitions, loss, delay) filter messages
+        # from the first transmit on, so they are compiled before any
+        # process is built.
+        install_link_faults(self.faults, config.faultload, self.kernel)
         self.network = Network(
             self.kernel,
             config.n,
@@ -157,7 +168,7 @@ class Simulation:
             return holder[0].suspects() if holder else frozenset()
 
         ctx = ModuleContext(pid=pid, n=config.n, suspects=suspects)
-        modules = build_stack(
+        modules = self._stack_factory(
             config.stack, ctx, max_batch=config.flow_control.max_batch
         )
         runtime = ProcessRuntime(
@@ -236,6 +247,7 @@ class Simulation:
             self.kernel.schedule_at(
                 crash.time, lambda pid=crash.process: self.crash(pid)
             )
+        install_wrong_suspicions(self)
 
     # -- measurement boundaries ------------------------------------------------
 

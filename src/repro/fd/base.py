@@ -54,6 +54,20 @@ class FailureDetector:
             f"failure detector received unexpected message {message.kind!r}"
         )
 
+    def force_suspect(self, process: int) -> None:
+        """Externally inject a (possibly wrong) suspicion.
+
+        Nemesis hook: models the detector's permitted inaccuracy (◇S
+        output may be arbitrarily wrong for a while). Works on every
+        detector kind; a heartbeat detector will naturally retract the
+        suspicion when the suspect is next heard from.
+        """
+        self._suspect(process)
+
+    def retract_suspicion(self, process: int) -> None:
+        """Externally retract a suspicion (nemesis hook)."""
+        self._unsuspect(process)
+
     def _publish(self, new_suspects: frozenset[int]) -> None:
         """Update the suspect set and notify the stack if it changed."""
         if new_suspects == self._suspects:

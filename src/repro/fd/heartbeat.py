@@ -47,7 +47,11 @@ class HeartbeatFailureDetector(FailureDetector):
 
     def handle_message(self, message: NetMessage) -> None:
         if message.kind != "HEARTBEAT":
+            # Unknown FD traffic is a protocol bug, not liveness evidence:
+            # delegate to the base (which raises) and, defensively, never
+            # fall through to the aliveness bookkeeping below.
             super().handle_message(message)
+            return
         self._last_heard[message.src] = self.runtime.kernel.now
         if message.src in self.suspects():
             self._unsuspect(message.src)

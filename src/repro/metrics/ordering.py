@@ -18,6 +18,12 @@ properties of atomic broadcast (Hadzilacos & Toueg):
 
 Integration tests wrap every run (including faulty ones) with this
 checker; a violation raises :class:`~repro.errors.OrderingViolation`.
+
+This is the *post-hoc* checker: it sees only final sequences. The
+adversarial sweeps use :class:`~repro.nemesis.invariants.InvariantMonitor`
+instead, which checks the same properties online (flagging the exact
+delivery that diverges, with a trace slice) and adds a liveness
+watchdog. Keep the two property definitions in sync.
 """
 
 from __future__ import annotations

@@ -1,0 +1,52 @@
+"""Adversarial testing for the atomic broadcast stacks.
+
+The nemesis subsystem has three layers:
+
+1. **Faultload schedules** (:mod:`~repro.nemesis.schedule`) — named
+   scenarios, seeded random generation and a JSON round-trip for the
+   declarative :class:`~repro.config.FaultloadConfig` DSL. Compilation
+   onto the simulator's hooks lives in
+   :mod:`~repro.nemesis.partitions` (link faults) and
+   :mod:`~repro.nemesis.suspicion` (failure-detector faults).
+2. **Online invariants** (:mod:`~repro.nemesis.invariants`) — the four
+   atomic-broadcast properties checked as every delivery happens, plus
+   a liveness watchdog.
+3. **The swarm** (:mod:`~repro.nemesis.swarm`,
+   :mod:`~repro.nemesis.shrink`) — sweeps randomized schedules across
+   stacks and shrinks any failure to a minimal, replayable
+   counterexample.
+
+This ``__init__`` exports only the data/compile layers. The swarm
+imports :mod:`repro.experiments.runner`, which itself imports the
+compile layer — import :mod:`repro.nemesis.swarm` explicitly to keep
+that edge one-directional.
+"""
+
+from repro.nemesis.invariants import InvariantMonitor, Violation
+from repro.nemesis.partitions import install_link_faults
+from repro.nemesis.schedule import (
+    SCENARIOS,
+    dump_faultload,
+    faultload_from_dict,
+    faultload_to_dict,
+    generate_faultload,
+    load_faultload,
+    named_scenario,
+    resolve_faultload,
+)
+from repro.nemesis.suspicion import install_wrong_suspicions
+
+__all__ = [
+    "SCENARIOS",
+    "InvariantMonitor",
+    "Violation",
+    "dump_faultload",
+    "faultload_from_dict",
+    "faultload_to_dict",
+    "generate_faultload",
+    "install_link_faults",
+    "install_wrong_suspicions",
+    "load_faultload",
+    "named_scenario",
+    "resolve_faultload",
+]

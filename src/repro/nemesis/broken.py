@@ -1,0 +1,56 @@
+"""A deliberately broken stack — the nemesis test fixture.
+
+:class:`BrokenAtomicBroadcast` is the monolithic stack with one seeded
+bug: while a non-coordinator process suspects anyone, it "helpfully"
+adelivers its pooled messages to the application right away instead of
+waiting for consensus — without recording the delivery, so the same
+messages are adelivered *again* when the decided batch arrives. That is
+the classic premature-delivery mistake; it surfaces as a
+uniform-integrity violation (duplicate delivery) and, when the pool
+order disagrees with the decided order, as a total-order violation too.
+
+It exists to prove the nemesis pipeline end to end: the swarm must find
+a failing schedule against it, the invariant monitor must localize the
+violation, and the shrinker must reduce the schedule to (typically) a
+single crash or wrong-suspicion event. It is deliberately *not* part of
+the default sweep and never a valid experiment subject.
+"""
+
+from __future__ import annotations
+
+from repro.abcast.monolithic import MonolithicAtomicBroadcast
+from repro.stack.actions import Action, EmitUp
+from repro.stack.events import AdeliverIndication
+from repro.types import AppMessage
+
+
+class BrokenAtomicBroadcast(MonolithicAtomicBroadcast):
+    """Monolithic stack with a seeded premature-delivery bug."""
+
+    def handle_suspicion(self, suspects: frozenset[int]) -> list[Action]:
+        actions = super().handle_suspicion(suspects)
+        if suspects and not self.is_initial_coordinator:
+            actions = self._premature_flush() + actions
+        return actions
+
+    def _on_abcast(self, message: AppMessage) -> list[Action]:
+        actions = super()._on_abcast(message)
+        if not self.is_initial_coordinator and self.ctx.suspects():
+            actions = self._premature_flush() + actions
+        return actions
+
+    def _premature_flush(self) -> list[Action]:
+        # BUG (deliberate): hand the pool to the application in local
+        # order, bypassing consensus — and without marking anything as
+        # adelivered, so the legitimate delivery later duplicates it.
+        return [
+            EmitUp(AdeliverIndication(message))
+            for message in self._pool.values()
+        ]
+
+
+def broken_stack_factory(stack_config, ctx, *, max_batch=None):
+    """Drop-in for :func:`~repro.abcast.factory.build_stack` (fixture)."""
+    return [
+        BrokenAtomicBroadcast(ctx, stack_config.optimizations, max_batch=max_batch)
+    ]

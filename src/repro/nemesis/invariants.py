@@ -1,0 +1,323 @@
+"""Online invariant checking for atomic broadcast runs.
+
+:class:`~repro.metrics.ordering.OrderingChecker` verifies the abcast
+contract *after* a run. For adversarial sweeps that is too late and too
+coarse: a violation surfaces as one opaque exception at the end, with no
+notion of *when* the execution went wrong. The
+:class:`InvariantMonitor` instead checks the four properties
+(Hadzilacos & Toueg) *online*, as every adelivery happens:
+
+* **Uniform integrity** — per process, each message at most once, and
+  only messages that were abcast. Checked per delivery.
+* **Total order** — every process's adelivery sequence must be a prefix
+  of one global sequence (the stronger prefix form both stacks
+  guarantee). Checked per delivery against the growing global order, so
+  a divergence is caught at the exact delivery that forks.
+* **Uniform agreement** / **validity** — "eventually" properties,
+  checked at :meth:`finalize` against the processes that survived.
+
+Plus a **liveness watchdog**: once the last fault has healed, correct
+processes holding undelivered messages must keep making delivery
+progress within a bound, or the run fails with a
+:class:`~repro.errors.LivenessViolation` carrying the outstanding ids
+and a slice of the recent event trace. The watchdog only arms for
+faultloads that preserve quasi-reliable channels
+(:attr:`~repro.config.FaultloadConfig.liveness_safe`); under DROP-mode
+faults liveness is not guaranteed by the model and only safety is
+checked.
+
+Every violation carries a ring-buffer slice of recent events (accepts,
+deliveries, faults, suspicions) — the first thing one wants when
+debugging a schedule found by the swarm.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import LivenessViolation, OrderingViolation
+from repro.types import AppMessage, MessageId, SimTime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import Simulation
+
+#: Default seconds of post-heal silence the watchdog tolerates before
+#: declaring a stall. Must exceed the slowest recovery path: guard
+#: timeout (0.5 s) + detection delay + a round trip.
+DEFAULT_LIVENESS_BOUND = 1.0
+
+#: Default ring-buffer capacity for the diagnostic trace slice.
+DEFAULT_HISTORY = 80
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One detected invariant violation."""
+
+    invariant: str
+    time: SimTime
+    description: str
+    trace_slice: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.invariant} @ t={self.time:.4f}] {self.description}"
+
+
+@dataclass
+class LivenessState:
+    """Watchdog bookkeeping between checks."""
+
+    armed: bool = False
+    last_progress_count: int = -1
+
+
+class InvariantMonitor:
+    """Checks the atomic broadcast contract online during a run.
+
+    Wire it to a :class:`~repro.experiments.runner.Simulation` with
+    :meth:`attach` *before* ``sim.run()``. Violations accumulate in
+    :attr:`violations`; with ``raise_on_violation=True`` the first
+    safety violation raises immediately (useful in tests, where the
+    stack trace then points at the offending delivery).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        liveness_bound: float = DEFAULT_LIVENESS_BOUND,
+        history: int = DEFAULT_HISTORY,
+        raise_on_violation: bool = False,
+    ) -> None:
+        self.n = n
+        self.liveness_bound = liveness_bound
+        self.raise_on_violation = raise_on_violation
+        self.violations: list[Violation] = []
+        self._global_order: list[MessageId] = []
+        self._positions = [0] * n
+        self._delivered: list[set[MessageId]] = [set() for __ in range(n)]
+        self._delivery_count = 0
+        self._abcast: set[MessageId] = set()
+        self._abcast_sender: dict[MessageId, int] = {}
+        self._trace: deque[str] = deque(maxlen=history)
+        self._liveness = LivenessState()
+        self._simulation: "Simulation | None" = None
+        self._finalized = False
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, simulation: "Simulation") -> "InvariantMonitor":
+        """Subscribe to a simulation and arm the liveness watchdog."""
+        self._simulation = simulation
+        simulation.add_accept_listener(self.on_abcast)
+        simulation.add_adeliver_listener(self.on_adeliver)
+        faultload = simulation.config.faultload
+        self._record_fault_timeline(simulation)
+        if faultload.liveness_safe:
+            self._liveness.armed = True
+            first_check = (
+                max(faultload.last_disruption_time(), simulation.config.warmup)
+                + self.liveness_bound
+            )
+            simulation.kernel.schedule_at(first_check, self._liveness_check)
+        else:
+            self._note(0.0, "watchdog disarmed: faultload destroys messages")
+        return self
+
+    def _record_fault_timeline(self, simulation: "Simulation") -> None:
+        """Put the declared faults on the trace as they happen."""
+        kernel = simulation.kernel
+        faultload = simulation.config.faultload
+        entries: list[tuple[float, str]] = []
+        for crash in faultload.crashes:
+            entries.append((crash.time, f"fault: crash p{crash.process}"))
+        for p in faultload.partitions:
+            groups = "|".join(",".join(map(str, g)) for g in p.groups)
+            entries.append((p.start, f"fault: partition [{groups}] up"))
+            entries.append((p.heal, f"fault: partition [{groups}] healed"))
+        for b in faultload.loss_bursts:
+            link = f"{b.src if b.src is not None else '*'}->" \
+                   f"{b.dst if b.dst is not None else '*'}"
+            entries.append((b.start, f"fault: loss burst {link} p={b.probability:.2f}"))
+            entries.append((b.end, f"fault: loss burst {link} over"))
+        for s in faultload.delay_spikes:
+            entries.append((s.start, f"fault: delay spike +{s.extra_delay * 1e3:.1f}ms"))
+            entries.append((s.end, "fault: delay spike over"))
+        for w in faultload.wrong_suspicions:
+            entries.append(
+                (w.time, f"fault: p{w.observer} wrongly suspects p{w.suspect}")
+            )
+            entries.append(
+                (w.time + w.duration, f"fault: p{w.observer} retracts p{w.suspect}")
+            )
+        for time, text in entries:
+            kernel.schedule_at(time, lambda t=time, x=text: self._note(t, x))
+
+    # -- event listeners ----------------------------------------------------
+
+    def on_abcast(self, message: AppMessage) -> None:
+        """Accept listener: record that *message* entered some stack."""
+        self._abcast.add(message.msg_id)
+        self._abcast_sender[message.msg_id] = message.msg_id.sender
+
+    def on_adeliver(self, pid: int, message: AppMessage, time: SimTime) -> None:
+        """Adeliver listener: run the online safety checks."""
+        mid = message.msg_id
+        self._note(time, f"p{pid} adeliver {mid}")
+        if mid in self._delivered[pid]:
+            self._flag(
+                "uniform-integrity",
+                time,
+                f"p{pid} adelivered {mid} twice",
+            )
+            return
+        if mid not in self._abcast:
+            self._flag(
+                "uniform-integrity",
+                time,
+                f"p{pid} adelivered never-abcast message {mid}",
+            )
+            return
+        position = self._positions[pid]
+        if position < len(self._global_order):
+            expected = self._global_order[position]
+            if expected != mid:
+                self._flag(
+                    "total-order",
+                    time,
+                    f"p{pid} diverges at position {position}: delivered {mid}, "
+                    f"group order has {expected}",
+                )
+                return
+        else:
+            self._global_order.append(mid)
+        self._positions[pid] = position + 1
+        self._delivered[pid].add(mid)
+        self._delivery_count += 1
+
+    # -- liveness watchdog ---------------------------------------------------
+
+    def _correct_now(self) -> set[int]:
+        assert self._simulation is not None
+        return set(range(self.n)) - set(self._simulation.faults.crashed)
+
+    def _liveness_check(self) -> None:
+        assert self._simulation is not None
+        kernel = self._simulation.kernel
+        correct = self._correct_now()
+        owed: set[MessageId] = set()
+        for delivered in self._delivered:
+            owed.update(delivered)
+        owed.update(
+            mid for mid in self._abcast if self._abcast_sender[mid] in correct
+        )
+        outstanding = {
+            mid
+            for mid in owed
+            if any(mid not in self._delivered[pid] for pid in correct)
+        }
+        if outstanding and self._delivery_count == self._liveness.last_progress_count:
+            sample = sorted(outstanding)[:5]
+            self._flag(
+                "liveness",
+                kernel.now,
+                f"no delivery progress for {self.liveness_bound:.2f}s after the "
+                f"last fault healed; {len(outstanding)} message(s) outstanding, "
+                f"e.g. {sample}",
+                error=LivenessViolation,
+            )
+            return  # a stalled run stays stalled; one report is enough
+        self._liveness.last_progress_count = self._delivery_count
+        kernel.schedule_at(kernel.now + self.liveness_bound, self._liveness_check)
+
+    # -- end of run -----------------------------------------------------------
+
+    def finalize(self, *, expect_all_delivered: bool = True) -> list[Violation]:
+        """Run the end-of-run checks and return all violations.
+
+        Args:
+            expect_all_delivered: Check uniform agreement and validity
+                to completion. Only meaningful when the run had enough
+                drain for deliveries to finish and the faultload kept
+                channels quasi-reliable; automatically skipped otherwise.
+        """
+        if self._finalized:
+            return self.violations
+        self._finalized = True
+        simulation = self._simulation
+        now = simulation.kernel.now if simulation is not None else 0.0
+        crashed = set(simulation.faults.crashed) if simulation is not None else set()
+        if simulation is not None and not simulation.config.faultload.liveness_safe:
+            expect_all_delivered = False
+        correct = set(range(self.n)) - crashed
+        if expect_all_delivered:
+            delivered_anywhere: set[MessageId] = set()
+            for delivered in self._delivered:
+                delivered_anywhere.update(delivered)
+            for pid in sorted(correct):
+                missing = delivered_anywhere - self._delivered[pid]
+                if missing:
+                    self._flag(
+                        "uniform-agreement",
+                        now,
+                        f"p{pid} never adelivered {len(missing)} message(s) "
+                        f"delivered elsewhere, e.g. {sorted(missing)[:5]}",
+                    )
+            from_correct = {
+                mid for mid in self._abcast if self._abcast_sender[mid] in correct
+            }
+            for pid in sorted(correct):
+                missing = from_correct - self._delivered[pid]
+                if missing:
+                    self._flag(
+                        "validity",
+                        now,
+                        f"p{pid} never adelivered {len(missing)} message(s) "
+                        f"abcast by correct processes, e.g. {sorted(missing)[:5]}",
+                    )
+        return self.violations
+
+    @property
+    def passed(self) -> bool:
+        """Whether no invariant has been violated so far."""
+        return not self.violations
+
+    @property
+    def delivery_count(self) -> int:
+        """Total adeliveries that passed the online checks."""
+        return self._delivery_count
+
+    def sequence(self, pid: int) -> tuple[MessageId, ...]:
+        """The (checked prefix of the) adelivery sequence of *pid*."""
+        return tuple(self._global_order[: self._positions[pid]])
+
+    @property
+    def trace_slice(self) -> tuple[str, ...]:
+        """Recent events (ring buffer), oldest first."""
+        return tuple(self._trace)
+
+    # -- internals -------------------------------------------------------------
+
+    def _note(self, time: SimTime, text: str) -> None:
+        self._trace.append(f"t={time:.4f} {text}")
+
+    def _flag(
+        self,
+        invariant: str,
+        time: SimTime,
+        description: str,
+        *,
+        error: type[Exception] = OrderingViolation,
+    ) -> None:
+        violation = Violation(
+            invariant=invariant,
+            time=time,
+            description=description,
+            trace_slice=self.trace_slice,
+        )
+        self.violations.append(violation)
+        self._note(time, f"VIOLATION {invariant}: {description}")
+        if self.raise_on_violation:
+            raise error(str(violation))

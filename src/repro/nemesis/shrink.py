@@ -1,0 +1,61 @@
+"""Shrink a failing faultload schedule to a minimal counterexample.
+
+A schedule found by the swarm typically mixes several faults, most of
+which are irrelevant to the failure it triggered. Because every run is
+deterministic in (config, seed), shrinking is just delta debugging:
+drop one atomic fault event, re-run, and keep the smaller schedule
+whenever it still fails. :func:`shrink_faultload` does this greedily to
+a fixpoint — the result is *1-minimal* (no single event can be removed
+without losing the failure), which in practice collapses a five-fault
+schedule to the one crash or wrong suspicion that matters.
+
+The oracle is passed in as a callable so this module stays independent
+of the swarm runner (which imports the simulation assembly and hence,
+indirectly, this package).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.config import FaultloadConfig
+
+#: Hard cap on oracle invocations, so a pathological oracle (e.g. flaky
+#: under a non-deterministic stack bug) cannot shrink forever.
+MAX_RUNS = 200
+
+
+def shrink_faultload(
+    faultload: FaultloadConfig,
+    still_fails: Callable[[FaultloadConfig], bool],
+    *,
+    max_runs: int = MAX_RUNS,
+) -> FaultloadConfig:
+    """Greedily remove fault events while *still_fails* keeps returning True.
+
+    Args:
+        faultload: A schedule known to fail (the caller should have
+            observed the failure already; this function never re-checks
+            the starting point).
+        still_fails: Deterministic oracle — re-runs the case with the
+            candidate schedule and reports whether it still fails.
+        max_runs: Upper bound on oracle calls.
+
+    Returns:
+        A 1-minimal failing schedule (possibly the input itself).
+    """
+    current = faultload
+    runs = 0
+    changed = True
+    while changed and runs < max_runs:
+        changed = False
+        for event in current.events():
+            candidate = current.without(event)
+            runs += 1
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+                break  # restart over the smaller schedule
+            if runs >= max_runs:
+                break
+    return current

@@ -1,0 +1,58 @@
+"""Wrong-suspicion injection into failure detectors.
+
+◇S permits detectors to be wrong for arbitrary finite periods; the
+protocols' round-change machinery exists precisely to survive that.
+This module schedules :class:`~repro.config.WrongSuspicion` events onto
+the kernel: at ``time`` the observer's detector starts suspecting a
+process that may be perfectly alive, and ``duration`` seconds later the
+suspicion is retracted — unless the suspect has *actually* crashed by
+then, in which case retracting would make the detector wrong in the
+unsafe direction (un-suspecting a dead coordinator stalls liveness).
+
+Injection goes through :meth:`~repro.fd.base.FailureDetector.force_suspect`,
+so it works uniformly across the oracle, heartbeat and scripted
+detectors. A heartbeat detector may retract earlier on its own when the
+suspect is next heard from; that is correct ◇S behaviour too.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import FaultloadConfig, WrongSuspicion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.runner import Simulation
+
+
+def install_wrong_suspicions(
+    simulation: "Simulation", faultload: FaultloadConfig | None = None
+) -> None:
+    """Schedule every wrong-suspicion event of the run's faultload."""
+    events = (
+        faultload.wrong_suspicions
+        if faultload is not None
+        else simulation.config.faultload.wrong_suspicions
+    )
+    for event in events:
+        _schedule(simulation, event)
+
+
+def _schedule(simulation: "Simulation", event: WrongSuspicion) -> None:
+    kernel = simulation.kernel
+    observer = event.observer
+
+    def inject() -> None:
+        if not simulation.runtimes[observer].alive:
+            return
+        simulation.detectors[observer].force_suspect(event.suspect)
+
+    def retract() -> None:
+        if not simulation.runtimes[observer].alive:
+            return
+        if simulation.faults.is_crashed(event.suspect):
+            return  # the "wrong" suspicion came true; keep it
+        simulation.detectors[observer].retract_suspicion(event.suspect)
+
+    kernel.schedule_at(event.time, inject)
+    kernel.schedule_at(event.time + event.duration, retract)

@@ -1,0 +1,377 @@
+"""The nemesis swarm: randomized fault schedules swept across stacks.
+
+One *case* is (stack, seed, n, failure detector, faultload schedule).
+The swarm generates the schedule and the detector choice from the seed
+via named RNG streams, runs the case under the online
+:class:`~repro.nemesis.invariants.InvariantMonitor`, and — when a case
+fails — shrinks its schedule to a 1-minimal counterexample
+(:mod:`~repro.nemesis.shrink`) and packages it as a JSON file plus the
+one command that replays it.
+
+Because the whole simulator is deterministic in (config, seed), a case
+is its own repro: re-running the same case dict reproduces the same
+execution bit for bit, held messages, suspicions and all.
+
+Import this module explicitly (``repro.nemesis.swarm``); the package
+``__init__`` stays clear of it to keep the import edge
+``experiments.runner -> nemesis.partitions`` one-directional.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.config import (
+    ConsensusVariant,
+    FailureDetectorConfig,
+    FailureDetectorKind,
+    FaultloadConfig,
+    RunConfig,
+    StackConfig,
+    StackKind,
+    WorkloadConfig,
+)
+from repro.errors import ConfigurationError, ReproError, StationarityWarning
+from repro.experiments.runner import Simulation
+from repro.nemesis.broken import broken_stack_factory
+from repro.nemesis.invariants import (
+    DEFAULT_LIVENESS_BOUND,
+    InvariantMonitor,
+    Violation,
+)
+from repro.nemesis.schedule import (
+    faultload_from_dict,
+    faultload_to_dict,
+    generate_faultload,
+)
+from repro.nemesis.shrink import shrink_faultload
+from repro.sim.rng import RngRegistry
+
+#: Run shape of every nemesis case. Short on purpose: a sweep runs
+#: hundreds of cases, and the generator window (0.25 s – 1.0 s) is when
+#: faults land, so little happens after ~1.2 s but recovery.
+NEMESIS_WARMUP = 0.2
+NEMESIS_DURATION = 1.0
+
+#: Light workload so fault handling, not queueing, dominates the run.
+NEMESIS_LOAD = 120.0
+NEMESIS_MESSAGE_SIZE = 128
+
+#: Fraction of cases that use the heartbeat detector instead of the
+#: oracle — real FD traffic reacts to partitions and delay spikes, which
+#: the omniscient oracle never does.
+HEARTBEAT_FRACTION = 0.35
+
+
+@dataclass(frozen=True, slots=True)
+class StackSpec:
+    """One sweepable stack: its config plus nemesis-specific caveats."""
+
+    label: str
+    config: StackConfig
+    #: Restrict generated schedules to delay spikes only (the sequencer
+    #: is good-run-only by design: no tolerance for crashes/suspicions).
+    benign_only: bool = False
+    #: Optional :func:`~repro.abcast.factory.build_stack` replacement;
+    #: the ``broken`` fixture injects its bug through this.
+    factory: Callable | None = None
+
+
+#: Every stack the swarm knows how to drive.
+STACKS: dict[str, StackSpec] = {
+    "modular": StackSpec(
+        "modular",
+        StackConfig(kind=StackKind.MODULAR, consensus=ConsensusVariant.OPTIMIZED),
+    ),
+    "monolithic": StackSpec(
+        "monolithic", StackConfig(kind=StackKind.MONOLITHIC)
+    ),
+    "indirect": StackSpec(
+        "indirect",
+        StackConfig(kind=StackKind.MODULAR, consensus=ConsensusVariant.INDIRECT),
+    ),
+    "sequencer": StackSpec(
+        "sequencer", StackConfig(kind=StackKind.SEQUENCER), benign_only=True
+    ),
+    # Test fixture with a seeded total-order bug; never part of the
+    # default sweep (see repro.nemesis.broken).
+    "broken": StackSpec(
+        "broken", StackConfig(kind=StackKind.MONOLITHIC), factory=broken_stack_factory
+    ),
+}
+
+#: The three fault-tolerant stacks every sweep covers by default.
+DEFAULT_STACKS = ("modular", "monolithic", "indirect")
+
+
+@dataclass(frozen=True, slots=True)
+class NemesisCase:
+    """One fully determined adversarial run (its own repro recipe)."""
+
+    stack: str
+    seed: int
+    n: int
+    fd: str  # "oracle" | "heartbeat"
+    faultload: FaultloadConfig
+
+    def describe(self) -> str:
+        events = self.faultload.events()
+        return (
+            f"{self.stack} seed={self.seed} n={self.n} fd={self.fd} "
+            f"({len(events)} fault event(s))"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CaseResult:
+    """Outcome of one nemesis case."""
+
+    case: NemesisCase
+    violations: tuple[Violation, ...]
+    deliveries: int
+    events_executed: int
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+
+@dataclass(frozen=True, slots=True)
+class Counterexample:
+    """A failing case together with its shrunk, replayable core."""
+
+    original: CaseResult
+    minimal: CaseResult
+
+    @property
+    def dropped_events(self) -> int:
+        return len(self.original.case.faultload.events()) - len(
+            self.minimal.case.faultload.events()
+        )
+
+
+@dataclass(slots=True)
+class SwarmReport:
+    """Everything a sweep produced."""
+
+    results: list[CaseResult] = field(default_factory=list)
+    counterexamples: list[Counterexample] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def cases_run(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> list[CaseResult]:
+        return [result for result in self.results if not result.passed]
+
+    def summary(self) -> str:
+        deliveries = sum(result.deliveries for result in self.results)
+        lines = [
+            f"nemesis: {self.cases_run} case(s), "
+            f"{len(self.failures)} failing, {deliveries} deliveries checked"
+        ]
+        for ce in self.counterexamples:
+            case = ce.minimal.case
+            worst = ce.minimal.violations[0]
+            lines.append(
+                f"  FAIL {case.describe()} -> {worst} "
+                f"[shrunk away {ce.dropped_events} event(s)]"
+            )
+        return "\n".join(lines)
+
+
+# -- case construction ------------------------------------------------------
+
+
+def generate_case(stack: str, seed: int, n: int = 3) -> NemesisCase:
+    """Derive the case for (stack, seed, n) — pure function of its args.
+
+    The schedule and the detector choice come from a named RNG stream
+    keyed by the stack label, so different stacks see *different*
+    schedules for the same seed (more coverage per sweep) while any
+    (stack, seed) pair regenerates identically forever.
+    """
+    spec = _spec(stack)
+    rng = RngRegistry(seed).stream(f"nemesis.schedule.{stack}")
+    faultload = generate_faultload(rng, n, benign_only=spec.benign_only)
+    fd = "heartbeat" if rng.random() < HEARTBEAT_FRACTION else "oracle"
+    return NemesisCase(stack=stack, seed=seed, n=n, fd=fd, faultload=faultload)
+
+
+def build_config(case: NemesisCase) -> RunConfig:
+    """The :class:`~repro.config.RunConfig` a case runs under."""
+    _spec(case.stack)  # validate the label early
+    if case.fd == "oracle":
+        fd_config = FailureDetectorConfig(kind=FailureDetectorKind.ORACLE)
+    elif case.fd == "heartbeat":
+        fd_config = FailureDetectorConfig(kind=FailureDetectorKind.HEARTBEAT)
+    else:
+        raise ConfigurationError(f"unknown nemesis fd {case.fd!r}")
+    return RunConfig(
+        n=case.n,
+        stack=STACKS[case.stack].config,
+        workload=WorkloadConfig(
+            offered_load=NEMESIS_LOAD, message_size=NEMESIS_MESSAGE_SIZE
+        ),
+        failure_detector=fd_config,
+        faultload=case.faultload,
+        warmup=NEMESIS_WARMUP,
+        duration=NEMESIS_DURATION,
+    )
+
+
+def _spec(stack: str) -> StackSpec:
+    try:
+        return STACKS[stack]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown nemesis stack {stack!r}; choose from {', '.join(STACKS)}"
+        ) from None
+
+
+def _drain_for(config: RunConfig, liveness_bound: float) -> float:
+    """Simulated drain long enough for two post-heal watchdog checks."""
+    quiet = max(config.faultload.last_disruption_time(), config.warmup)
+    horizon = quiet + 2.0 * liveness_bound + 0.2
+    return max(0.5, horizon - config.total_time)
+
+
+# -- execution --------------------------------------------------------------
+
+
+def run_case(
+    case: NemesisCase, *, liveness_bound: float = DEFAULT_LIVENESS_BOUND
+) -> CaseResult:
+    """Run one case to completion under the invariant monitor.
+
+    A :class:`~repro.errors.ReproError` escaping the simulation (e.g. a
+    ``ProtocolError`` from a confused stack) is converted into an
+    ``exception`` violation rather than propagated: to the swarm, a
+    crash of the system under test is just another way to fail.
+    """
+    spec = _spec(case.stack)
+    config = build_config(case)
+    simulation = Simulation(config, seed=case.seed, stack_factory=spec.factory)
+    monitor = InvariantMonitor(case.n, liveness_bound=liveness_bound)
+    monitor.attach(simulation)
+    with warnings.catch_warnings():
+        # Faulty runs are rarely stationary; that is not a finding.
+        warnings.simplefilter("ignore", StationarityWarning)
+        try:
+            simulation.run(drain=_drain_for(config, liveness_bound))
+        except ReproError as exc:
+            monitor.violations.append(
+                Violation(
+                    invariant="exception",
+                    time=simulation.kernel.now,
+                    description=f"{type(exc).__name__}: {exc}",
+                    trace_slice=monitor.trace_slice,
+                )
+            )
+    violations = monitor.finalize()
+    return CaseResult(
+        case=case,
+        violations=tuple(violations),
+        deliveries=monitor.delivery_count,
+        events_executed=simulation.kernel.events_executed,
+    )
+
+
+def shrink_case(
+    failing: NemesisCase, *, liveness_bound: float = DEFAULT_LIVENESS_BOUND
+) -> CaseResult:
+    """Shrink a failing case's schedule and return the minimal failure.
+
+    If shrinking removes every removable event the original case is
+    returned re-run; the result is always a *failing* CaseResult.
+    """
+
+    def still_fails(faultload: FaultloadConfig) -> bool:
+        candidate = replace(failing, faultload=faultload)
+        return not run_case(candidate, liveness_bound=liveness_bound).passed
+
+    minimal_faultload = shrink_faultload(failing.faultload, still_fails)
+    minimal = replace(failing, faultload=minimal_faultload)
+    return run_case(minimal, liveness_bound=liveness_bound)
+
+
+def sweep(
+    seeds: Iterable[int],
+    stacks: Sequence[str] = DEFAULT_STACKS,
+    n: int = 3,
+    *,
+    shrink: bool = True,
+    liveness_bound: float = DEFAULT_LIVENESS_BOUND,
+    progress: Callable[[CaseResult], None] | None = None,
+) -> SwarmReport:
+    """Sweep every (seed, stack) pair; shrink failures as they appear."""
+    report = SwarmReport()
+    for seed in seeds:
+        for stack in stacks:
+            case = generate_case(stack, seed, n)
+            result = run_case(case, liveness_bound=liveness_bound)
+            report.results.append(result)
+            if progress is not None:
+                progress(result)
+            if not result.passed:
+                minimal = (
+                    shrink_case(case, liveness_bound=liveness_bound)
+                    if shrink
+                    else result
+                )
+                report.counterexamples.append(
+                    Counterexample(original=result, minimal=minimal)
+                )
+    return report
+
+
+# -- replay / persistence ---------------------------------------------------
+
+
+def case_to_dict(case: NemesisCase) -> dict[str, Any]:
+    """Plain-dict form of a case, suitable for ``json.dump``."""
+    return {
+        "stack": case.stack,
+        "seed": case.seed,
+        "n": case.n,
+        "fd": case.fd,
+        "faultload": faultload_to_dict(case.faultload),
+    }
+
+
+def case_from_dict(data: dict[str, Any]) -> NemesisCase:
+    """Inverse of :func:`case_to_dict`."""
+    return NemesisCase(
+        stack=data["stack"],
+        seed=data["seed"],
+        n=data["n"],
+        fd=data.get("fd", "oracle"),
+        faultload=faultload_from_dict(data.get("faultload", {})),
+    )
+
+
+def save_case(case: NemesisCase, path: str | Path) -> None:
+    """Write a case to a JSON file a ``--replay`` can consume."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(case_to_dict(case), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_case(path: str | Path) -> NemesisCase:
+    """Read a case back from :func:`save_case` output."""
+    with open(path, encoding="utf-8") as handle:
+        return case_from_dict(json.load(handle))
+
+
+def repro_command(path: str | Path) -> str:
+    """The one command that replays a saved counterexample."""
+    return f"python -m repro nemesis --replay {path}"

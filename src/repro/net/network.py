@@ -83,6 +83,14 @@ class Network:
             raise NetworkError(
                 f"depart_time {depart_time} is in the past (now={self._kernel.now})"
             )
+        if self.faults.is_crashed(message.src):
+            # Fail-stop guard: a crashed process never puts *new* frames
+            # on the wire. (Frames handed to the NIC before the crash
+            # were transmitted before mark_crashed ran, so they still
+            # depart — the documented in-flight semantics.)
+            self.stats.on_send_after_crash(message)
+            self._trace.record(depart_time, "net.crashed_send", message.src, message)
+            return
         self.stats.on_transmit(message)
         self._trace.record(depart_time, "net.send", message.src, message)
 

@@ -22,6 +22,9 @@ class NetworkStats:
     messages_sent: int = 0
     bytes_sent: int = 0
     payload_bytes_sent: int = 0
+    #: Transmit attempts stifled because the sender had already crashed
+    #: (fail-stop: a dead process must not put new frames on the wire).
+    sends_after_crash: int = 0
     messages_by_kind: Counter = field(default_factory=Counter)
     bytes_by_kind: Counter = field(default_factory=Counter)
     messages_by_module: Counter = field(default_factory=Counter)
@@ -35,11 +38,16 @@ class NetworkStats:
         self.bytes_by_kind[message.kind] += message.wire_size
         self.messages_by_module[message.module] += 1
 
+    def on_send_after_crash(self, message: NetMessage) -> None:  # noqa: ARG002
+        """Record one transmit attempt by an already-crashed sender."""
+        self.sends_after_crash += 1
+
     def reset(self) -> None:
         """Zero all counters (called at the end of warm-up)."""
         self.messages_sent = 0
         self.bytes_sent = 0
         self.payload_bytes_sent = 0
+        self.sends_after_crash = 0
         self.messages_by_kind.clear()
         self.bytes_by_kind.clear()
         self.messages_by_module.clear()
@@ -50,6 +58,7 @@ class NetworkStats:
             "messages_sent": self.messages_sent,
             "bytes_sent": self.bytes_sent,
             "payload_bytes_sent": self.payload_bytes_sent,
+            "sends_after_crash": self.sends_after_crash,
             "messages_by_kind": dict(self.messages_by_kind),
             "bytes_by_kind": dict(self.bytes_by_kind),
             "messages_by_module": dict(self.messages_by_module),

@@ -1,0 +1,64 @@
+"""Property-based tests of the nemesis pipeline itself.
+
+Three contracts, each over randomized inputs:
+
+* every schedule the generator produces respects the system model
+  (minority crashes, HOLD-only link faults) and builds a valid run;
+* all three fault-tolerant stacks satisfy the four atomic-broadcast
+  properties *and* liveness under arbitrary generated schedules (the
+  sequencer under its benign-only schedules);
+* whatever the shrinker outputs for a failing case still fails — a
+  shrunk counterexample that passes would be worse than no shrinking.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.config import RunConfig
+from repro.nemesis.schedule import generate_faultload
+from repro.nemesis.swarm import (
+    DEFAULT_STACKS,
+    generate_case,
+    run_case,
+    shrink_case,
+)
+
+SEEDS = st.integers(min_value=0, max_value=2**16)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=SEEDS, n=st.sampled_from([3, 4, 5, 7]))
+def test_generated_schedules_respect_the_system_model(seed, n):
+    faultload = generate_faultload(random.Random(seed), n)
+    assert len(faultload.crashed_processes()) <= (n - 1) // 2
+    assert faultload.liveness_safe
+    RunConfig(n=n, faultload=faultload)  # validates times/endpoints/groups
+
+
+@settings(max_examples=15, deadline=None)
+@given(stack=st.sampled_from(DEFAULT_STACKS), seed=SEEDS)
+def test_invariants_hold_for_every_stack_under_random_schedules(stack, seed):
+    result = run_case(generate_case(stack, seed))
+    assert result.passed, "\n".join(str(v) for v in result.violations)
+    assert result.deliveries > 0
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=SEEDS)
+def test_sequencer_holds_under_benign_schedules(seed):
+    result = run_case(generate_case("sequencer", seed))
+    assert result.passed, "\n".join(str(v) for v in result.violations)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_shrunk_counterexamples_still_fail(seed):
+    case = generate_case("broken", seed)
+    result = run_case(case)
+    assume(not result.passed)  # only failing schedules can be shrunk
+    minimal = shrink_case(case)
+    assert not minimal.passed
+    assert len(minimal.case.faultload.events()) <= len(case.faultload.events())
+    assert minimal.case.faultload.events()  # some fault must remain

@@ -139,3 +139,51 @@ def test_stale_combined_still_processes_decision_piggyback():
     # round jump. Verify no ack was produced for instance 1.
     acks = [a for a in actions if getattr(a, "kind", None) == "ACKPIGGY"]
     assert all(a.payload.ack.instance == 2 for a in acks)
+
+
+def test_message_riding_a_straggler_ack_is_not_stranded():
+    """Regression: a message piggybacked on an ack that arrives *after*
+    its instance already decided (on the other majority member's ack)
+    must still trigger a new instance at the coordinator. Previously it
+    was admitted to the pool and stranded forever when the pipeline had
+    drained — a validity violation at run end."""
+    from repro.abcast.messages import AckWithDiffusion
+    from repro.consensus.messages import Ack
+
+    from tests.conftest import make_ctx
+
+    coordinator = MonolithicAtomicBroadcast(make_ctx(pid=0, n=3))
+    m1 = app_message(sender=0)
+    first = coordinator.handle_event(AbcastRequest(m1))
+    assert [a.kind for a in first] == ["COMBINED", "COMBINED"]
+
+    # p1's ack arrives first and decides instance 0 (majority with self).
+    ack1 = AckWithDiffusion(ack=Ack(0, 1), messages=())
+    decided = coordinator.handle_message(net_message("ACKPIGGY", 1, 0, ack1))
+    assert coordinator.next_instance == 1
+    assert coordinator.pool_count == 0
+
+    # p2's straggler ack for the decided instance carries a fresh m2.
+    m2 = app_message(sender=2)
+    ack2 = AckWithDiffusion(ack=Ack(0, 1), messages=(m2,))
+    actions = coordinator.handle_message(net_message("ACKPIGGY", 2, 0, ack2))
+    combined = [a for a in actions if getattr(a, "kind", None) == "COMBINED"]
+    assert combined, "straggler-ack piggyback did not start a new instance"
+    assert any(
+        m2 in a.payload.proposal.value.messages for a in combined
+    ), "new instance does not carry the piggybacked message"
+
+
+def test_join_catches_up_processes_that_do_not_suspect():
+    """Regression (found by the nemesis swarm): with p2 crashed, a
+    wrong suspicion held only by p1 used to strand p0 in round 1 (no
+    acks left) and p1 in round 2 (no second estimate) forever. The JOIN
+    broadcast must make the non-suspecting p0 join round 2."""
+    pump = make_pump(3)
+    m = app_message(sender=1)
+    pump.inject(1, AbcastRequest(m))
+    pump.crash(2)
+    pump.suspect(1, 0)  # only p1 suspects the live coordinator
+    pump.run()
+    assert adelivered(pump, 0) == [m.msg_id]
+    assert adelivered(pump, 1) == [m.msg_id]

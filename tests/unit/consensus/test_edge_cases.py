@@ -115,3 +115,32 @@ def test_suspicion_without_active_instances_is_harmless():
     pump.suspect(1, 0)
     pump.run()
     assert all(not decisions(pump, pid) for pid in range(3))
+
+
+def test_lone_wrong_suspicion_plus_crash_cannot_strand_the_group():
+    """Regression (found by the nemesis swarm): p2 is crashed and p1
+    *alone* wrongly suspects the live round-1 coordinator p0. p1 moves
+    to round 2 and stops acking round 1, so neither round has a
+    majority among the suspecting processes alone. The JOIN broadcast
+    must pull p0 into round 2 even though p0 suspects nobody."""
+    pump = make_pump(3)
+    pump.crash(2)
+    pump.inject(0, ProposeRequest(0, batch_for(0, 0)))
+    pump.inject(1, ProposeRequest(0, batch_for(0, 1)))
+    pump.suspect(1, 0)
+    pump.run()
+    assert decisions(pump, 0) and decisions(pump, 1)
+    assert decisions(pump, 0)[0].value == decisions(pump, 1)[0].value
+
+
+def test_join_for_a_fresh_instance_is_safe():
+    """A JOIN may reach a process that never proposed for the instance;
+    it must join with an empty estimate rather than ignore or crash."""
+    from repro.consensus.messages import JoinRound
+
+    pump = make_pump(3)
+    module = pump.modules[2]
+    actions = module.handle_message(net_message("JOIN", 1, 2, JoinRound(0, 2)))
+    assert module.instance(0).round == 2
+    estimates = [a for a in actions if getattr(a, "kind", None) == "ESTIMATE"]
+    assert [a.dst for a in estimates] == [1]  # to the round-2 coordinator

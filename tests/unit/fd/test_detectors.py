@@ -178,3 +178,30 @@ def test_heartbeats_cost_network_messages():
     )
     kernel.run(until=1.0)
     assert runtimes[0].network.stats.messages_by_kind["HEARTBEAT"] > 10
+
+
+def test_heartbeat_rejects_non_heartbeat_without_counting_it_as_liveness():
+    """Regression: the non-HEARTBEAT branch must not fall through into
+    the aliveness bookkeeping (updating _last_heard / un-suspecting)."""
+    kernel, runtimes, detectors, spies = build_group(
+        3, lambda: HeartbeatFailureDetector(0.05, 0.2)
+    )
+    detector = detectors[0]
+    detector.force_suspect(2)
+    assert 2 in detector.suspects()
+    heard_before = dict(detector._last_heard)
+    with pytest.raises(ProtocolError):
+        detector.handle_message(net_message("WAT", 2, 0, module="fd"))
+    assert detector._last_heard == heard_before
+    assert 2 in detector.suspects()
+
+
+def test_force_suspect_and_retract_are_published_to_the_stack():
+    kernel, runtimes, detectors, spies = build_group(
+        3, lambda: OracleFailureDetector(0.1)
+    )
+    detectors[0].force_suspect(1)
+    assert detectors[0].suspects() == frozenset({1})
+    detectors[0].retract_suspicion(1)
+    assert detectors[0].suspects() == frozenset()
+    assert spies[0].changes == [frozenset({1}), frozenset()]

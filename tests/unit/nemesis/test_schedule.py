@@ -1,0 +1,82 @@
+"""Unit tests for faultload schedules: scenarios, generation, JSON."""
+
+import random
+
+import pytest
+
+from repro.config import LinkFaultMode, RunConfig
+from repro.errors import ConfigurationError
+from repro.nemesis.schedule import (
+    SCENARIOS,
+    dump_faultload,
+    faultload_from_dict,
+    faultload_to_dict,
+    generate_faultload,
+    load_faultload,
+    named_scenario,
+    resolve_faultload,
+)
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+def test_every_named_scenario_builds_a_valid_run_config(name):
+    faultload = named_scenario(name, n=3)
+    RunConfig(n=3, faultload=faultload)  # __post_init__ validates
+
+
+def test_unknown_scenario_is_rejected():
+    with pytest.raises(ConfigurationError, match="unknown faultload scenario"):
+        named_scenario("kitchen-sink")
+
+
+def test_generation_is_deterministic_in_the_rng_state():
+    a = generate_faultload(random.Random(42), n=3)
+    b = generate_faultload(random.Random(42), n=3)
+    assert a == b
+
+
+def test_generated_schedules_respect_the_system_model():
+    for seed in range(60):
+        faultload = generate_faultload(random.Random(seed), n=5)
+        # Validates bounds, group membership, minority crashes...
+        RunConfig(n=5, faultload=faultload)
+        # ...and the swarm promise: only quasi-reliable (HOLD) link
+        # faults, so liveness stays checkable.
+        assert faultload.liveness_safe
+        assert len(faultload.crashed_processes()) <= 2
+        for partition in faultload.partitions:
+            assert partition.mode is LinkFaultMode.HOLD
+
+
+def test_benign_only_schedules_contain_only_delay_spikes():
+    for seed in range(20):
+        faultload = generate_faultload(random.Random(seed), n=3, benign_only=True)
+        assert not faultload.crashes
+        assert not faultload.partitions
+        assert not faultload.loss_bursts
+        assert not faultload.wrong_suspicions
+
+
+def test_faultload_json_round_trip_is_lossless():
+    faultload = named_scenario("churn", n=3)
+    assert faultload_from_dict(faultload_to_dict(faultload)) == faultload
+    generated = generate_faultload(random.Random(7), n=3)
+    assert faultload_from_dict(faultload_to_dict(generated)) == generated
+
+
+def test_faultload_file_round_trip(tmp_path):
+    faultload = named_scenario("rolling-partition", n=3)
+    path = tmp_path / "fl.json"
+    dump_faultload(faultload, path)
+    assert load_faultload(path) == faultload
+
+
+def test_resolve_faultload_accepts_scenario_name_or_json_path(tmp_path):
+    assert resolve_faultload("coordinator-crash") == named_scenario(
+        "coordinator-crash"
+    )
+    path = tmp_path / "fl.json"
+    dump_faultload(named_scenario("lossy-link"), path)
+    assert resolve_faultload(str(path)) == named_scenario("lossy-link")
+    with pytest.raises(ConfigurationError, match="neither a named scenario"):
+        resolve_faultload("no-such-thing")

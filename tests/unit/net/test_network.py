@@ -152,3 +152,16 @@ def test_uniform_delay_used_without_matrix():
     config = NetworkConfig(propagation=0.25)
     assert config.delay(0, 1) == 0.25
     assert config.delay(2, 0) == 0.25
+
+
+def test_crashed_sender_cannot_put_new_frames_on_the_wire():
+    """Fail-stop guard: transmit attempts after mark_crashed are stifled
+    (in-flight frames transmitted *before* the crash still arrive)."""
+    kernel, network, arrivals = _network(bandwidth=1000.0, propagation=0.1)
+    network.transmit(_msg(src=0, dst=1, size=100), depart_time=0.0)  # pre-crash
+    network.faults.mark_crashed(0)
+    network.transmit(_msg(src=0, dst=1, size=100), depart_time=0.0)  # post-crash
+    kernel.run()
+    assert len(arrivals) == 1
+    assert network.stats.sends_after_crash == 1
+    assert network.stats.messages_sent == 1
