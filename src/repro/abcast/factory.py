@@ -1,6 +1,20 @@
-"""Builds the module list of either stack from a :class:`StackConfig`."""
+"""Builds the module list of either stack from a :class:`StackConfig`.
+
+Two entry points:
+
+* :func:`build_stack` — the module list alone, for callers that manage
+  their own :class:`~repro.stack.module.ModuleContext` (unit tests, the
+  nemesis broken-stack fixtures);
+* :func:`build_process` — modules plus a hosting runtime, built against
+  the :class:`~repro.stack.interface.RuntimeProtocol` contract so the
+  same wiring serves the simulator's
+  :class:`~repro.stack.runtime.ProcessRuntime` and the live
+  :class:`~repro.live.runtime.LiveRuntime`.
+"""
 
 from __future__ import annotations
+
+from typing import Callable
 
 from repro.abcast.indirect import IndirectModularAtomicBroadcast
 from repro.abcast.modular import ModularAtomicBroadcast
@@ -11,7 +25,16 @@ from repro.config import ConsensusVariant, StackConfig, StackKind
 from repro.consensus.chandra_toueg import TextbookConsensus
 from repro.consensus.optimized import OptimizedConsensus
 from repro.errors import ConfigurationError
+from repro.stack.interface import RuntimeProtocol
 from repro.stack.module import Microprotocol, ModuleContext
+
+#: Builds a runtime around a finished module list. The factory runs
+#: after the modules exist because every runtime implementation takes
+#: its stack at construction time.
+RuntimeFactory = Callable[[list[Microprotocol]], RuntimeProtocol]
+
+#: Signature of :func:`build_stack`, for pluggable replacements.
+StackFactory = Callable[..., "list[Microprotocol]"]
 
 
 def build_stack(
@@ -57,3 +80,44 @@ def build_stack(
             ReliableBroadcast(ctx, variant=config.rbcast),
         ]
     raise ConfigurationError(f"unknown stack kind {config.kind!r}")
+
+
+def build_process(
+    config: StackConfig,
+    pid: int,
+    n: int,
+    runtime_factory: RuntimeFactory,
+    *,
+    max_batch: int | None = None,
+    stack_factory: StackFactory | None = None,
+) -> RuntimeProtocol:
+    """Build one process: its module stack hosted on a runtime.
+
+    The module context's ``suspects`` query must reach the runtime's
+    failure detector, but the runtime cannot exist before its modules do
+    — this helper closes that cycle (via a late-bound reference) so that
+    neither the simulator nor the live deployment has to.
+
+    Args:
+        config: Which stack and which protocol variants to build.
+        pid: This process's identifier.
+        n: Group size.
+        runtime_factory: Builds the hosting runtime from the finished
+            module list (e.g. a ``ProcessRuntime`` or ``LiveRuntime``
+            constructor closure).
+        max_batch: Flow-control cap on messages ordered per consensus.
+        stack_factory: Optional :func:`build_stack` replacement with the
+            same signature (the nemesis swarm injects deliberately broken
+            stacks through this).
+    """
+    make_stack = stack_factory if stack_factory is not None else build_stack
+    holder: list[RuntimeProtocol] = []
+
+    def suspects() -> frozenset[int]:
+        return holder[0].suspects() if holder else frozenset()
+
+    ctx = ModuleContext(pid=pid, n=n, suspects=suspects)
+    modules = make_stack(config, ctx, max_batch=max_batch)
+    runtime = runtime_factory(modules)
+    holder.append(runtime)
+    return runtime

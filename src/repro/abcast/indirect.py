@@ -28,6 +28,7 @@ from typing import Any
 
 from repro.abcast.modular import ModularAtomicBroadcast
 from repro.net.message import NetMessage
+from repro.net.wire import wire_payload
 from repro.stack.actions import (
     Action,
     CancelTimer,
@@ -54,6 +55,7 @@ FETCH_RETRY_DELAY = 0.2
 CONTENT_CACHE_SIZE = 4096
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class IdBatch:
     """A consensus value carrying message ids only.

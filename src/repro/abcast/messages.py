@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.consensus.messages import Ack, DecisionTag, JoinRound, Proposal
+from repro.net.wire import wire_payload
 from repro.stack.events import message_wire_size
 from repro.types import AppMessage
 
@@ -36,6 +37,7 @@ __all__ = [
 ]
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class CombinedProposal:
     """§4.1: the round-1 proposal of instance k, optionally carrying the
@@ -52,6 +54,7 @@ class CombinedProposal:
         return size
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class AckWithDiffusion:
     """§4.2: an ack carrying the sender's pending abcast messages."""
@@ -64,6 +67,7 @@ class AckWithDiffusion:
         return self.ack.wire_size + sum(message_wire_size(m) for m in self.messages)
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class Forward:
     """Pending abcast messages sent to the coordinator outside any ack
@@ -76,6 +80,7 @@ class Forward:
         return 8 + sum(message_wire_size(m) for m in self.messages)
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class RbDecision:
     """Decision tag wrapped for the relay-emulated reliable broadcast

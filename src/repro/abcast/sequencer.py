@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from repro.errors import ProtocolError
 from repro.net.message import NetMessage
+from repro.net.wire import wire_payload
 from repro.stack.actions import Action, EmitUp, Send
 from repro.stack.events import (
     AbcastRequest,
@@ -41,6 +42,7 @@ from repro.types import AppMessage
 SEQUENCE_OVERHEAD = 12
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class Sequenced:
     """A message with its assigned global sequence number."""

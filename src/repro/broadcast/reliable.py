@@ -36,11 +36,13 @@ from repro.stack.events import (
 )
 from repro.stack.module import Microprotocol, ModuleContext
 from repro.net.message import NetMessage
+from repro.net.wire import wire_payload
 
 #: Modelled bytes of rbcast framing (origin, sequence number).
 RB_CONTROL_OVERHEAD = PER_MESSAGE_OVERHEAD
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class RbMessage:
     """Wire payload of one reliable-broadcast transmission."""

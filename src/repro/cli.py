@@ -12,6 +12,7 @@ Usage::
     python -m repro predict            # design-time performance prediction
     python -m repro all                # everything above
     python -m repro nemesis            # adversarial sweep (see below)
+    python -m repro live               # run a stack over real TCP (see below)
 
 ``--fast`` uses a reduced grid and a single seed (seconds instead of
 minutes); ``--seeds N`` controls the ensemble size; ``--csv DIR`` also
@@ -29,16 +30,27 @@ online, plus liveness::
 On failure it shrinks the schedule to a 1-minimal counterexample,
 writes it as JSON (``--out DIR``) and prints the replay command; the
 exit code is 1 so CI fails loudly.
+
+The ``live`` command deploys the *same* protocol stacks over real
+asyncio TCP sockets between OS processes on localhost (see
+:mod:`repro.live`)::
+
+    python -m repro live --n 3 --stack monolithic --load 100 --duration 5
+    python -m repro live --stack modular --compare   # sim vs live, side by side
+    python -m repro live --json                      # RunResult-schema JSON
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.performance_model import predict_gap
+from repro.config import STACK_LABELS
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.ablation import ablation_table, run_ablation
 from repro.experiments.export import write_sweep_csv
 from repro.experiments.figures import (
@@ -65,6 +77,7 @@ COMMANDS = (
     "predict",
     "all",
     "nemesis",
+    "live",
 )
 
 
@@ -149,7 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=3,
         metavar="N",
-        help="group size for nemesis runs (default: 3)",
+        help="group size for nemesis and live runs (default: 3)",
     )
     nemesis.add_argument(
         "--out",
@@ -162,6 +175,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-shrink",
         action="store_true",
         help="report failures without shrinking them first",
+    )
+    live = parser.add_argument_group("live options")
+    live.add_argument(
+        "--stack",
+        choices=STACK_LABELS,
+        default="monolithic",
+        help="protocol stack to deploy (default: monolithic)",
+    )
+    live.add_argument(
+        "--load",
+        type=float,
+        default=100.0,
+        metavar="MSGS/S",
+        help="offered load across the group (default: 100)",
+    )
+    live.add_argument(
+        "--size",
+        type=int,
+        default=1024,
+        metavar="BYTES",
+        help="message payload size (default: 1024)",
+    )
+    live.add_argument(
+        "--duration",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="measurement window length (default: 5)",
+    )
+    live.add_argument(
+        "--warmup",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="warm-up before the window opens (default: 0.5)",
+    )
+    live.add_argument(
+        "--compare",
+        action="store_true",
+        help="also run the matched simulation and print both side by side",
+    )
+    live.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the result as RunResult-schema JSON instead of a table",
     )
     return parser
 
@@ -199,6 +257,12 @@ def _run_nemesis(args: argparse.Namespace) -> int:
         return 1
 
     stacks = tuple(label for label in args.stacks.split(",") if label)
+    unknown = [label for label in stacks if label not in nemesis_swarm.STACKS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown stack label(s) for --stacks: {', '.join(unknown)} "
+            f"(known: {', '.join(nemesis_swarm.STACKS)})"
+        )
     seed_count = args.seeds if args.seeds else 20
     seeds = range(1, seed_count + 1)
 
@@ -245,9 +309,76 @@ def _run_nemesis(args: argparse.Namespace) -> int:
     return 1
 
 
+def _live_summary(result: dict) -> str:
+    metrics = result["metrics"]
+    config = result["config"]
+    latency = metrics["latency_mean"]
+    rows = [
+        ["throughput (msgs/s)", f"{metrics['throughput']:.1f}"],
+        ["offered rate (msgs/s)", f"{metrics['offered_rate']:.1f}"],
+        [
+            "early latency mean (ms)",
+            f"{latency * 1e3:.2f}" if latency is not None else "n/a",
+        ],
+        ["latency samples", str(metrics["latency_count"])],
+        ["consensus instances", str(result["instances_decided"])],
+        ["net messages sent", str(result["network"].get("messages_sent", 0))],
+        ["blocked attempts", str(metrics["blocked_attempts"])],
+    ]
+    title = (
+        f"live run: stack={config['stack']} n={config['n']} "
+        f"load={config['load']:g} size={config['message_size']} "
+        f"duration={config['duration']:g}s"
+    )
+    return title + "\n" + format_table(["metric", "value"], rows)
+
+
+def _run_live(args: argparse.Namespace) -> int:
+    from repro.live.compare import comparison_table, run_comparison
+    from repro.live.deploy import LiveSpec, run_live
+
+    spec = LiveSpec(
+        n=args.n,
+        stack=args.stack,
+        load=args.load,
+        size=args.size,
+        duration=args.duration,
+        warmup=args.warmup,
+    )
+    if args.compare:
+        results = run_comparison(spec)
+        if args.json:
+            print(json.dumps(results, indent=2))
+        else:
+            print("sim vs live, matched parameters:")
+            print(comparison_table(results))
+        return 0
+    result = run_live(spec)
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(_live_summary(result))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    """CLI entry point; returns a process exit code.
+
+    Configuration and deployment errors (unknown stack labels, bad
+    faultload files, a live group failing to come up) exit with status 2
+    and a one-line ``error:`` message, not a traceback.
+    """
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"run '{parser.prog} --help' for usage", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     seeds = tuple(range(1, args.seeds + 1)) if args.seeds else None
 
     def emit(text: object) -> None:
@@ -257,6 +388,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     command = args.command
     if command == "nemesis":
         return _run_nemesis(args)
+    if command == "live":
+        return _run_live(args)
     if command in ("figure8", "figure9", "figure10", "figure11"):
         figure_fn = {
             "figure8": figure8,

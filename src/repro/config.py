@@ -585,3 +585,24 @@ def monolithic_stack(
         kind=StackKind.MONOLITHIC,
         optimizations=optimizations or MonolithicOptimizations(),
     )
+
+
+#: Stack labels accepted by the CLI and the live deployment.
+STACK_LABELS = ("modular", "monolithic", "indirect", "sequencer")
+
+
+def stack_from_label(label: str) -> StackConfig:
+    """Resolve a CLI-level stack label to its :class:`StackConfig`."""
+    if label == "modular":
+        return StackConfig(kind=StackKind.MODULAR)
+    if label == "monolithic":
+        return StackConfig(kind=StackKind.MONOLITHIC)
+    if label == "indirect":
+        return StackConfig(
+            kind=StackKind.MODULAR, consensus=ConsensusVariant.INDIRECT
+        )
+    if label == "sequencer":
+        return StackConfig(kind=StackKind.SEQUENCER)
+    raise ConfigurationError(
+        f"unknown stack {label!r} (known: {', '.join(STACK_LABELS)})"
+    )

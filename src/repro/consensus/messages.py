@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.net.wire import wire_payload
 from repro.stack.events import batch_wire_size
 from repro.types import Batch
 
@@ -19,6 +20,7 @@ from repro.types import Batch
 CONTROL_OVERHEAD = 24
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class JoinRound:
     """Bad-run hint, broadcast when a process advances its round: a
@@ -37,6 +39,7 @@ class JoinRound:
         return 16
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class Estimate:
     """Phase-1 message: a process's current estimate, sent to the round
@@ -52,6 +55,7 @@ class Estimate:
         return batch_wire_size(self.value) + CONTROL_OVERHEAD
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class Proposal:
     """Phase-2 message: the coordinator's proposed value for a round."""
@@ -65,6 +69,7 @@ class Proposal:
         return batch_wire_size(self.value) + CONTROL_OVERHEAD
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class Ack:
     """Phase-3 message: acknowledgment of a round's proposal."""
@@ -77,6 +82,7 @@ class Ack:
         return CONTROL_OVERHEAD
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class DecisionTag:
     """Optimized decision: names the deciding round instead of carrying
@@ -90,6 +96,7 @@ class DecisionTag:
         return CONTROL_OVERHEAD
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class DecisionValue:
     """Full decision value; used by the textbook variant and by the
@@ -103,6 +110,7 @@ class DecisionValue:
         return batch_wire_size(self.value) + CONTROL_OVERHEAD
 
 
+@wire_payload
 @dataclass(frozen=True, slots=True)
 class RecoveryRequest:
     """Sent by a process that rdelivered a :class:`DecisionTag` without

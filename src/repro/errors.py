@@ -41,6 +41,15 @@ class CrashedProcessError(ReproError):
     """Raised when code attempts to drive a process that has crashed."""
 
 
+class DeploymentError(ReproError):
+    """Raised when a live deployment fails to come up or report back.
+
+    Examples: a worker process dying before the run completes, the group
+    not becoming ready within the deadline, or the control channel
+    closing before every worker sent its final counters.
+    """
+
+
 class FlowControlError(ReproError):
     """Raised on invalid flow-control usage (e.g. releasing unheld slots)."""
 

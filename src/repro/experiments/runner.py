@@ -15,7 +15,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.abcast.factory import build_stack
+from repro.abcast.factory import build_process, build_stack
 from repro.config import FailureDetectorKind, RunConfig
 from repro.errors import ConfigurationError, StationarityWarning
 from repro.fd.base import FailureDetector
@@ -31,7 +31,6 @@ from repro.net.network import Network
 from repro.net.stats import NetworkStats
 from repro.sim.kernel import Kernel
 from repro.sim.tracing import TraceRecorder
-from repro.stack.module import ModuleContext
 from repro.stack.runtime import AdeliverListener, ProcessRuntime
 from repro.types import AppMessage, SimTime
 from repro.workload.generator import ArrivalSchedule, FlowControlledSender
@@ -136,6 +135,7 @@ class Simulation:
                 BacklogWindow(config.flow_control.window),
                 config.workload.message_size,
                 on_accept=self._on_accept,
+                on_offer=self.metrics.on_offered,
             )
             self.senders.append(sender)
             if with_workload:
@@ -162,25 +162,27 @@ class Simulation:
 
     def _build_process(self, pid: int) -> ProcessRuntime:
         config = self.config
-        holder: list[ProcessRuntime] = []
 
-        def suspects() -> frozenset[int]:
-            return holder[0].suspects() if holder else frozenset()
+        def make_runtime(modules: list) -> ProcessRuntime:
+            return ProcessRuntime(
+                pid,
+                modules,
+                kernel=self.kernel,
+                network=self.network,
+                costs=config.cpu_costs,
+                net_config=config.network,
+                trace=self.trace,
+            )
 
-        ctx = ModuleContext(pid=pid, n=config.n, suspects=suspects)
-        modules = self._stack_factory(
-            config.stack, ctx, max_batch=config.flow_control.max_batch
-        )
-        runtime = ProcessRuntime(
+        runtime = build_process(
+            config.stack,
             pid,
-            modules,
-            kernel=self.kernel,
-            network=self.network,
-            costs=config.cpu_costs,
-            net_config=config.network,
-            trace=self.trace,
+            config.n,
+            make_runtime,
+            max_batch=config.flow_control.max_batch,
+            stack_factory=self._stack_factory,
         )
-        holder.append(runtime)
+        assert isinstance(runtime, ProcessRuntime)
         runtime.attach_failure_detector(self._build_detector())
         runtime.set_adeliver_listener(self._on_adeliver)
         return runtime

@@ -20,24 +20,30 @@ from repro.errors import ProtocolError
 from repro.net.message import NetMessage
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from repro.stack.runtime import ProcessRuntime
+    from repro.stack.interface import RuntimeProtocol
 
 
 class FailureDetector:
-    """Base failure detector: maintains and publishes a suspect set."""
+    """Base failure detector: maintains and publishes a suspect set.
+
+    Detectors talk to their process exclusively through the
+    :class:`~repro.stack.interface.RuntimeProtocol` surface (``now``,
+    ``n``, ``fd_send``, ``fd_schedule``, ``on_suspicion_change``), so the
+    same detector runs unchanged on the simulated and the live runtime.
+    """
 
     def __init__(self) -> None:
         self._suspects: frozenset[int] = frozenset()
-        self._runtime: "ProcessRuntime | None" = None
+        self._runtime: "RuntimeProtocol | None" = None
 
     @property
-    def runtime(self) -> "ProcessRuntime":
+    def runtime(self) -> "RuntimeProtocol":
         """The runtime this detector is attached to."""
         if self._runtime is None:
             raise ProtocolError("failure detector is not attached to a runtime")
         return self._runtime
 
-    def attach(self, runtime: "ProcessRuntime") -> None:
+    def attach(self, runtime: "RuntimeProtocol") -> None:
         """Bind this detector to its process runtime (called by the runtime)."""
         self._runtime = runtime
 

@@ -38,8 +38,8 @@ class HeartbeatFailureDetector(FailureDetector):
         self._last_heard: dict[int, float] = {}
 
     def start(self) -> None:
-        now = self.runtime.kernel.now
-        for peer in range(self.runtime.network.n):
+        now = self.runtime.now
+        for peer in range(self.runtime.n):
             if peer != self.runtime.pid:
                 self._last_heard[peer] = now
         self._send_heartbeats()
@@ -52,7 +52,7 @@ class HeartbeatFailureDetector(FailureDetector):
             # fall through to the aliveness bookkeeping below.
             super().handle_message(message)
             return
-        self._last_heard[message.src] = self.runtime.kernel.now
+        self._last_heard[message.src] = self.runtime.now
         if message.src in self.suspects():
             self._unsuspect(message.src)
 
@@ -62,7 +62,7 @@ class HeartbeatFailureDetector(FailureDetector):
         self.runtime.fd_schedule(self.heartbeat_interval, self._send_heartbeats)
 
     def _check_timeouts(self) -> None:
-        now = self.runtime.kernel.now
+        now = self.runtime.now
         suspects = set(self.suspects())
         for peer, heard in self._last_heard.items():
             if now - heard > self.timeout:

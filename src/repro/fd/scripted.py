@@ -39,7 +39,7 @@ class ScriptedFailureDetector(FailureDetector):
         self._script.append(SuspicionEdit(time, process, False))
 
     def start(self) -> None:
-        now = self.runtime.kernel.now
+        now = self.runtime.now
         for edit in sorted(self._script, key=lambda e: e.time):
             delay = max(0.0, edit.time - now)
             if edit.suspected:

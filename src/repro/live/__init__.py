@@ -1,0 +1,34 @@
+"""Wall-clock runtime: the same stacks over real asyncio TCP sockets.
+
+The simulator (:mod:`repro.sim`, :mod:`repro.experiments.runner`)
+executes the protocol stacks in virtual time with modelled CPU and
+network costs; this package executes the *unchanged*
+:class:`~repro.stack.module.Microprotocol` stacks between real OS
+processes on localhost (or a LAN), matching the paper's Fortika-over-TCP
+testbed methodology:
+
+* :mod:`repro.live.transport` — length-prefixed framing over asyncio TCP
+  with per-peer FIFO streams and reconnect-with-backoff;
+* :mod:`repro.live.runtime` — :class:`~repro.live.runtime.LiveRuntime`,
+  the wall-clock implementation of the
+  :class:`~repro.stack.interface.RuntimeProtocol` contract;
+* :mod:`repro.live.worker` — one protocol process (spawned as
+  ``python -m repro.live.worker``);
+* :mod:`repro.live.deploy` — the orchestrator: spawns workers, drives
+  the open-loop workload, collects samples over a control channel and
+  reduces them to the same schema as the simulator's ``RunResult``;
+* :mod:`repro.live.compare` — sim-vs-live side-by-side reports.
+"""
+
+from repro.live.deploy import LiveSpec, run_live
+from repro.live.runtime import LiveRuntime
+from repro.live.transport import FrameDecoder, Transport, encode_frame
+
+__all__ = [
+    "FrameDecoder",
+    "LiveRuntime",
+    "LiveSpec",
+    "Transport",
+    "encode_frame",
+    "run_live",
+]

@@ -1,0 +1,96 @@
+"""Sim-vs-live comparison: one config, both execution modes.
+
+Runs the same (stack, n, load, size, duration, warmup) once through the
+virtual-time simulator and once over real TCP between OS processes, and
+renders both results side by side. The comparison is the point of the
+live runtime: the simulator's *modelled* CPU and network costs predict
+trends (modularity overhead, saturation points); the live run shows what
+the identical protocol code does on a real host, where costs are
+whatever the hardware charges.
+
+Numbers are expected to differ — the simulator charges the calibrated
+per-message costs of the paper's 2007-era testbed, not this machine's —
+so read the table for shape (ordering of stacks, latency floors, whether
+throughput tracks offered load), not for digit-level agreement.
+"""
+
+from __future__ import annotations
+
+from repro.config import (
+    FailureDetectorConfig,
+    FailureDetectorKind,
+    FlowControlConfig,
+    RunConfig,
+    WorkloadConfig,
+    stack_from_label,
+)
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_simulation
+from repro.live.deploy import LiveSpec, run_live
+from repro.live.results import sim_result_to_dict
+
+
+def matched_run_config(spec: LiveSpec) -> RunConfig:
+    """The simulator configuration equivalent to a live spec.
+
+    The simulated failure detector is the heartbeat one (the only kind
+    that also exists live), so both modes pay the same FD traffic.
+    """
+    return RunConfig(
+        n=spec.n,
+        stack=stack_from_label(spec.stack),
+        workload=WorkloadConfig(offered_load=spec.load, message_size=spec.size),
+        flow_control=FlowControlConfig(window=spec.window, max_batch=spec.max_batch),
+        failure_detector=FailureDetectorConfig(kind=FailureDetectorKind.HEARTBEAT),
+        duration=spec.duration,
+        warmup=spec.warmup,
+    )
+
+
+def run_comparison(spec: LiveSpec, *, seed: int | None = None) -> dict:
+    """Run sim and live with matched parameters; returns both results."""
+    sim = run_simulation(matched_run_config(spec), seed if seed is not None else spec.seed)
+    live = run_live(spec)
+    return {"sim": sim_result_to_dict(sim), "live": live}
+
+
+def _fmt_ms(value: float | None) -> str:
+    return f"{value * 1e3:.2f}" if value is not None else "n/a"
+
+
+def comparison_table(results: dict) -> str:
+    """Render a ``run_comparison`` result as an aligned text table."""
+    sim, live = results["sim"], results["live"]
+    rows = [
+        ("throughput (msgs/s)", "{:.1f}", lambda r: r["metrics"]["throughput"]),
+        ("offered rate (msgs/s)", "{:.1f}", lambda r: r["metrics"]["offered_rate"]),
+        ("early latency mean (ms)", None, lambda r: _fmt_ms(r["metrics"]["latency_mean"])),
+        ("early latency p95 (ms)", None, lambda r: _fmt_ms(r["metrics"]["latency_p95"])),
+        ("latency samples", "{}", lambda r: r["metrics"]["latency_count"]),
+        ("consensus instances", "{}", lambda r: r["instances_decided"]),
+        ("net messages sent", "{}", lambda r: r["network"].get("messages_sent", 0)),
+        (
+            "net payload bytes",
+            "{}",
+            lambda r: r["network"].get("payload_bytes_sent", 0),
+        ),
+        (
+            "mean cpu utilization",
+            "{:.3f}",
+            lambda r: sum(r["cpu_utilization"]) / max(1, len(r["cpu_utilization"])),
+        ),
+        ("blocked attempts", "{}", lambda r: r["metrics"]["blocked_attempts"]),
+    ]
+    table_rows = []
+    for label, fmt, extract in rows:
+        cells = []
+        for result in (sim, live):
+            value = extract(result)
+            cells.append(fmt.format(value) if fmt is not None else value)
+        table_rows.append([label, *cells])
+    config = live["config"]
+    title = (
+        f"stack={config['stack']} n={config['n']} load={config['load']:g} "
+        f"size={config['message_size']} duration={config['duration']:g}s"
+    )
+    return title + "\n" + format_table(["metric", "sim", "live"], table_rows)

@@ -1,0 +1,336 @@
+"""Live deployment orchestrator: spawn workers, measure, reduce.
+
+:func:`run_live` is the live counterpart of
+:func:`~repro.experiments.runner.run_simulation`: it takes a
+:class:`LiveSpec`, brings up ``n`` worker OS processes (each a
+:mod:`repro.live.worker` hosting one unchanged protocol stack over TCP),
+drives them through one measurement window and reduces their samples to
+the same schema as the simulator's ``RunResult`` (see
+:mod:`repro.live.results`).
+
+Sequence:
+
+1. reserve one data port per worker plus a control port (all on
+   ``spec.host``, normally localhost);
+2. spawn the workers with their spec as a JSON argv; each connects back
+   to the control server and says ``ready`` once its listener is up;
+3. when all are ready, broadcast ``start`` carrying a single
+   ``time.monotonic()`` reading — the shared epoch that makes
+   cross-process timestamps comparable (``CLOCK_MONOTONIC`` is
+   system-wide on Linux, and the paper's testbed likewise relies on a
+   common time base for the early-latency measurement);
+4. workers stream ``samples`` batches (accepts, deliveries, offered
+   counts) while the orchestrator just buffers them;
+5. after warm-up + duration + drain, broadcast ``stop``; every worker
+   answers with a ``done`` document of final counters and exits;
+6. feed the buffered samples through the *same*
+   :class:`~repro.metrics.collector.MetricsCollector` the simulator
+   uses, and assemble the result dict.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.config import stack_from_label
+from repro.errors import DeploymentError
+from repro.live.transport import FrameDecoder, encode_frame
+from repro.live.results import live_result_dict
+from repro.metrics.collector import MetricsCollector
+from repro.types import AppMessage, MessageId
+
+#: Extra wall-clock seconds after the window closes, letting in-flight
+#: messages deliver so late latency samples are not truncated.
+DEFAULT_DRAIN = 0.5
+
+#: How long workers get to come up before the deployment is abandoned.
+READY_TIMEOUT = 15.0
+
+
+@dataclass(frozen=True, slots=True)
+class LiveSpec:
+    """Knobs of one live run (defaults mirror the simulator's)."""
+
+    #: Group size.
+    n: int = 3
+    #: Stack label: modular, monolithic, indirect or sequencer.
+    stack: str = "monolithic"
+    #: Offered load in messages/second across the whole group.
+    load: float = 100.0
+    #: Message payload size in bytes.
+    size: int = 1024
+    #: Measurement window length in seconds.
+    duration: float = 5.0
+    #: Warm-up seconds before the window opens.
+    warmup: float = 0.5
+    #: Flow-control window (own messages in flight per process).
+    window: int = 3
+    #: Maximum messages ordered per consensus execution.
+    max_batch: int | None = 4
+    #: Failure detector: "heartbeat" or "none".
+    fd: str = "heartbeat"
+    #: Workload phase seed (kept for result provenance).
+    seed: int = 1
+    #: Interface to bind; the default keeps everything on localhost.
+    host: str = "127.0.0.1"
+    #: Post-window drain seconds.
+    drain: float = DEFAULT_DRAIN
+
+    def validate(self) -> None:
+        """Reject specs the deployment cannot run."""
+        stack_from_label(self.stack)  # raises ConfigurationError
+        if self.n < 1:
+            raise DeploymentError(f"need at least one process, got n={self.n}")
+        if self.load <= 0 or self.duration <= 0:
+            raise DeploymentError(
+                f"load and duration must be positive: {self.load}, {self.duration}"
+            )
+        if self.fd not in ("heartbeat", "none"):
+            raise DeploymentError(f"unknown live failure detector {self.fd!r}")
+
+
+def reserve_ports(host: str, count: int) -> list[int]:
+    """Pick *count* currently-free TCP ports on *host*.
+
+    The ports are released again before the workers bind them, so this
+    is best-effort — fine on a quiet localhost, which is the supported
+    deployment target.
+    """
+    sockets: list[socket.socket] = []
+    try:
+        for __ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+def worker_spec(
+    spec: LiveSpec, pid: int, addresses: dict[int, tuple[str, int]], control_port: int
+) -> dict:
+    """The JSON document handed to one worker on its command line."""
+    return {
+        "pid": pid,
+        "n": spec.n,
+        "stack": spec.stack,
+        "load": spec.load,
+        "size": spec.size,
+        "duration": spec.duration,
+        "warmup": spec.warmup,
+        "window": spec.window,
+        "max_batch": spec.max_batch,
+        "fd": spec.fd,
+        "seed": spec.seed,
+        "addresses": {str(p): list(addr) for p, addr in addresses.items()},
+        "control": [spec.host, control_port],
+    }
+
+
+class _ControlServer:
+    """Accepts worker control connections and buffers their reports."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.ready: dict[int, asyncio.StreamWriter] = {}
+        self.samples: list[dict] = []
+        self.done: dict[int, dict] = {}
+        self.all_ready = asyncio.Event()
+        self.all_done = asyncio.Event()
+
+    async def handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    return
+                for frame in decoder.feed(data):
+                    self._dispatch(json.loads(frame.decode("utf-8")), writer)
+        except (ConnectionError, OSError):
+            return
+        except asyncio.CancelledError:
+            # Loop teardown cancels handlers still waiting for EOF after
+            # the run reduced; nothing is lost, exit quietly.
+            return
+
+    def _dispatch(self, document: dict, writer: asyncio.StreamWriter) -> None:
+        kind = document.get("type")
+        if kind == "ready":
+            self.ready[int(document["pid"])] = writer
+            if len(self.ready) == self.n:
+                self.all_ready.set()
+        elif kind == "samples":
+            self.samples.append(document)
+        elif kind == "done":
+            self.done[int(document["pid"])] = document
+            if len(self.done) == self.n:
+                self.all_done.set()
+        else:
+            raise DeploymentError(f"unknown control message {document!r}")
+
+    def broadcast(self, document: dict) -> None:
+        frame = encode_frame(json.dumps(document).encode("utf-8"))
+        for writer in self.ready.values():
+            writer.write(frame)
+
+
+def _spawn_worker(document: dict) -> subprocess.Popen:
+    src_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(src_root) + os.pathsep + existing if existing else str(src_root)
+    )
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.live.worker", json.dumps(document)],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        env=env,
+    )
+
+
+def _worker_failure(workers: list[subprocess.Popen]) -> str | None:
+    """A description of the first dead worker, if any."""
+    for pid, worker in enumerate(workers):
+        code = worker.poll()
+        if code is not None and code != 0:
+            stderr = b""
+            if worker.stderr is not None:
+                stderr = worker.stderr.read() or b""
+            detail = stderr.decode("utf-8", "replace").strip()
+            tail = detail.splitlines()[-8:]
+            return (
+                f"worker {pid} exited with status {code}"
+                + (":\n" + "\n".join(tail) if tail else "")
+            )
+    return None
+
+
+async def _wait_event(
+    event: asyncio.Event, timeout: float, workers: list[subprocess.Popen], what: str
+) -> None:
+    """Wait for *event*, failing fast if a worker process dies."""
+    deadline = time.monotonic() + timeout
+    while not event.is_set():
+        failure = _worker_failure(workers)
+        if failure is not None:
+            raise DeploymentError(f"while waiting for {what}: {failure}")
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeploymentError(f"timed out waiting for {what}")
+        try:
+            await asyncio.wait_for(event.wait(), min(0.2, remaining))
+        except asyncio.TimeoutError:
+            continue
+
+
+def _reduce(spec: LiveSpec, control: _ControlServer) -> dict:
+    """Feed buffered samples through the simulator's collector."""
+    collector = MetricsCollector(
+        spec.n, window_start=spec.warmup, window_end=spec.warmup + spec.duration
+    )
+    delivers: list[tuple[float, int, MessageId]] = []
+    for batch in control.samples:
+        pid = int(batch["pid"])
+        for __ in range(int(batch.get("offered", 0))):
+            collector.on_offered()
+        for sender, seq, size, t0 in batch.get("accepts", ()):
+            collector.on_accept(
+                AppMessage(MessageId(sender, seq), size=size, abcast_time=t0)
+            )
+        for sender, seq, when in batch.get("delivers", ()):
+            delivers.append((when, pid, MessageId(sender, seq)))
+    # Deliveries are replayed in timestamp order so "first delivery of
+    # m" means the earliest across processes, regardless of how the
+    # per-worker sample batches interleaved on the control channel.
+    for when, pid, msg_id in sorted(delivers):
+        collector.on_adeliver(pid, AppMessage(msg_id, size=0, abcast_time=0.0), when)
+
+    blocked = sum(int(d.get("blocked_attempts", 0)) for d in control.done.values())
+    metrics = collector.finalize(blocked_attempts=blocked)
+
+    network: dict[str, int] = {}
+    for document in control.done.values():
+        for key, value in document.get("network", {}).items():
+            network[key] = network.get(key, 0) + int(value)
+    instances = max(
+        int(d.get("instances_at_end", 0)) for d in control.done.values()
+    ) - max(int(d.get("instances_at_warmup", 0)) for d in control.done.values())
+    cpu = [
+        float(control.done[pid].get("cpu_utilization", 0.0))
+        for pid in sorted(control.done)
+    ]
+    return live_result_dict(
+        spec,
+        metrics,
+        network=network,
+        cpu_utilization=cpu,
+        instances_decided=instances,
+    )
+
+
+async def _run_live_async(spec: LiveSpec) -> dict:
+    ports = reserve_ports(spec.host, spec.n)
+    addresses = {pid: (spec.host, ports[pid]) for pid in range(spec.n)}
+
+    control = _ControlServer(spec.n)
+    server = await asyncio.start_server(control.handle, spec.host, 0)
+    control_port = server.sockets[0].getsockname()[1]
+
+    workers: list[subprocess.Popen] = []
+    try:
+        for pid in range(spec.n):
+            workers.append(
+                _spawn_worker(worker_spec(spec, pid, addresses, control_port))
+            )
+
+        await _wait_event(control.all_ready, READY_TIMEOUT, workers, "workers ready")
+        control.broadcast({"type": "start", "epoch": time.monotonic()})
+        await asyncio.sleep(spec.warmup + spec.duration + spec.drain)
+        control.broadcast({"type": "stop"})
+        await _wait_event(
+            control.all_done, READY_TIMEOUT, workers, "final worker reports"
+        )
+    finally:
+        server.close()
+        await server.wait_closed()
+        for worker in workers:
+            if worker.poll() is None:
+                worker.terminate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+                worker.wait()
+            if worker.stderr is not None:
+                worker.stderr.close()
+
+    return _reduce(spec, control)
+
+
+def run_live(spec: LiveSpec) -> dict:
+    """Deploy *spec* on localhost, run one measurement, return the result.
+
+    Blocking convenience wrapper; roughly ``warmup + duration + drain``
+    seconds of wall-clock time plus process start-up.
+
+    Raises:
+        DeploymentError: When workers die, never become ready, or stop
+            reporting.
+        ConfigurationError: For an unknown stack label.
+    """
+    spec.validate()
+    return asyncio.run(_run_live_async(spec))

@@ -1,45 +1,38 @@
-"""Per-process protocol runtime.
+"""Wall-clock protocol runtime on the asyncio event loop.
 
-The runtime is the glue between pure protocol state machines and the
-simulation substrate. For one process it owns:
+:class:`LiveRuntime` is the live twin of
+:class:`~repro.stack.runtime.ProcessRuntime`: it satisfies the same
+:class:`~repro.stack.interface.RuntimeProtocol` contract, so protocol
+modules, failure detectors and the flow-controlled workload generator
+run on it without a single change. The differences are exactly the ones
+the contract abstracts away:
 
-* the ordered module stack (top = closest to the application),
-* the process CPU, on which every handler invocation, send and module
-  boundary crossing charges time,
-* the routing of network messages to modules by name,
-* named protocol timers,
-* the failure detector attachment, and
-* crash semantics (a crashed process stops executing instantly; messages
-  already handed to the NIC still depart, as on a real host).
+* **time** — ``now`` is wall-clock seconds since the deployment epoch
+  (a shared ``time.monotonic`` reference distributed by the
+  orchestrator), not simulated seconds; timer *delays* carry over 1:1;
+* **cost** — nothing charges modelled CPU time; handlers simply take as
+  long as they take on the host CPU;
+* **transport** — sends go through a real TCP
+  :class:`~repro.live.transport.Transport` instead of the simulated
+  network (header sizes are computed with the same Cactus header
+  stacking formula, so wire accounting stays comparable);
+* **crash** — fail-stop means the OS process exits (configurable via
+  ``on_crash`` so tests can observe a crash without dying).
 
-Cost model (the crux of the reproduction):
-
-* receiving a message costs ``recv_cost(wire)`` plus one boundary
-  crossing per module the message ascends through (its module's height),
-* sending costs ``send_cost(wire)`` plus one crossing per descended
-  module, and the wire carries one framework header per module below and
-  including the sender (Cactus-style header stacking),
-* every handler invocation costs ``dispatch``; inter-module events cost
-  an additional ``boundary_crossing``.
-
-A monolithic stack has a single module at height 0, so it pays none of
-the crossing costs and carries a single framework header — the
-*mechanical* advantage of merging; its *algorithmic* advantage (fewer,
-larger messages) is implemented in :mod:`repro.abcast.monolithic`.
+Thread model: everything runs on one asyncio event loop; handlers are
+executed synchronously inside transport/timer callbacks, which preserves
+the run-to-completion semantics modules were written against.
 """
 
 from __future__ import annotations
 
+import asyncio
+import time
 from typing import Any, Callable
 
-from repro.config import CpuCosts, NetworkConfig
+from repro.config import NetworkConfig
 from repro.errors import ProtocolError
 from repro.net.message import NetMessage
-from repro.net.network import Network
-from repro.sim.cpu import Cpu
-from repro.sim.eventq import ScheduledEvent
-from repro.sim.kernel import Kernel
-from repro.sim.tracing import NullTraceRecorder, TraceRecorder
 from repro.stack.actions import (
     Action,
     CancelTimer,
@@ -52,40 +45,38 @@ from repro.stack.actions import (
 from repro.stack.events import AdeliverIndication, Event
 from repro.stack.interface import AdeliverListener
 from repro.stack.module import Microprotocol
-from repro.types import SimTime
-
-__all__ = ["AdeliverListener", "ProcessRuntime"]
+from repro.live.transport import Transport
 
 
-class ProcessRuntime:
-    """Hosts one process's protocol stack on the simulation kernel."""
+class LiveRuntime:
+    """Hosts one process's protocol stack on the asyncio event loop."""
 
     def __init__(
         self,
         pid: int,
+        n: int,
         modules: list[Microprotocol],
+        transport: Transport,
         *,
-        kernel: Kernel,
-        network: Network,
-        costs: CpuCosts,
-        net_config: NetworkConfig,
-        trace: TraceRecorder | None = None,
+        net_config: NetworkConfig | None = None,
+        loop: asyncio.AbstractEventLoop | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        on_crash: Callable[[], None] | None = None,
     ) -> None:
         if not modules:
             raise ProtocolError("a stack needs at least one module")
         self.pid = pid
-        self.kernel = kernel
-        self.network = network
-        self.costs = costs
-        self.net_config = net_config
-        self.cpu = Cpu(kernel)
         self.alive = True
-        self._trace = trace if trace is not None else NullTraceRecorder()
+        self.transport = transport
+        self.net_config = net_config if net_config is not None else NetworkConfig()
+        self._n = n
+        self._loop = loop
+        self._clock = clock
+        self._epoch = 0.0
+        self._on_crash = on_crash
 
-        #: Modules ordered top (application side) to bottom (network side).
         self._modules = list(modules)
         self._by_name: dict[str, Microprotocol] = {}
-        #: Height of each module: bottom module is 0.
         self._height: dict[str, int] = {}
         depth = len(modules)
         for index, module in enumerate(modules):
@@ -94,16 +85,10 @@ class ProcessRuntime:
             self._by_name[module.name] = module
             self._height[module.name] = depth - 1 - index
 
-        self._timers: dict[tuple[str, str], ScheduledEvent] = {}
+        self._timers: dict[tuple[str, str], asyncio.TimerHandle] = {}
+        self._fd_timers: list[asyncio.TimerHandle] = []
         self._adeliver_listener: AdeliverListener | None = None
         self._fd: Any = None
-        self._sends_until_crash: int | None = None
-        #: Payload of the previous Send, for serialize-once accounting:
-        #: consecutive sends of the same payload object (a broadcast)
-        #: only pay the serialization cost on the first copy.
-        self._last_sent_payload: Any = object()
-
-        network.register(pid, self._on_network_arrival)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -112,12 +97,29 @@ class ProcessRuntime:
     @property
     def n(self) -> int:
         """Group size."""
-        return self.network.n
+        return self._n
 
     @property
-    def now(self) -> SimTime:
-        """Current simulated time (the runtime's time base)."""
-        return self.kernel.now
+    def now(self) -> float:
+        """Wall-clock seconds since the deployment epoch."""
+        return self._clock() - self._epoch
+
+    def set_epoch(self, epoch: float) -> None:
+        """Anchor ``now`` to the orchestrator-distributed time origin.
+
+        All workers of one deployment receive the same epoch (a single
+        ``time.monotonic`` reading on the orchestrator), so their
+        timestamps are directly comparable on one host — the basis of
+        the cross-process early-latency measurement.
+        """
+        self._epoch = epoch
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The event loop timers run on."""
+        if self._loop is None:
+            self._loop = asyncio.get_event_loop()
+        return self._loop
 
     @property
     def modules(self) -> tuple[Microprotocol, ...]:
@@ -152,7 +154,6 @@ class ProcessRuntime:
         """Deliver *event* from the application to the top module."""
         if not self.alive:
             return
-        self.cpu.execute(self.costs.dispatch)
         top = self._modules[0]
         self._run_handler(top, lambda: top.handle_event(event))
 
@@ -161,26 +162,23 @@ class ProcessRuntime:
     # ------------------------------------------------------------------
 
     def crash(self) -> None:
-        """Stop this process permanently (fail-stop model)."""
+        """Stop this process permanently (fail-stop model).
+
+        In a deployed worker ``on_crash`` terminates the OS process —
+        the live equivalent of the simulator's instant halt. In-process
+        uses (tests) may pass a no-op observer instead.
+        """
         if not self.alive:
             return
         self.alive = False
-        self.cpu.halt()
-        self.network.faults.mark_crashed(self.pid)
         for timer in self._timers.values():
             timer.cancel()
         self._timers.clear()
-        self._trace.record(self.kernel.now, "process.crash", self.pid)
-
-    def crash_after_sends(self, remaining_sends: int) -> None:
-        """Crash this process right after its next *remaining_sends* sends.
-
-        Used by fault tests to crash a sender halfway through a broadcast
-        (the scenario that motivates the paper's §3.3 guard timer).
-        """
-        if remaining_sends < 1:
-            raise ProtocolError("remaining_sends must be >= 1")
-        self._sends_until_crash = remaining_sends
+        for timer in self._fd_timers:
+            timer.cancel()
+        self._fd_timers.clear()
+        if self._on_crash is not None:
+            self._on_crash()
 
     # ------------------------------------------------------------------
     # Failure detector plumbing
@@ -196,8 +194,6 @@ class ProcessRuntime:
         """FD callback: propagate the new suspect set to every module."""
         if not self.alive:
             return
-        self._trace.record(self.kernel.now, "fd.change", self.pid, suspects)
-        self.cpu.execute(self.costs.dispatch)
         for module in self._modules:
             if not self.alive:
                 return
@@ -208,60 +204,54 @@ class ProcessRuntime:
         if not self.alive:
             return
         header = self.net_config.base_header + self.net_config.per_module_header
-        message = NetMessage(
-            kind=kind,
-            module="fd",
-            src=self.pid,
-            dst=dst,
-            payload=payload,
-            payload_size=payload_size,
-            header_size=header,
+        self.transport.send(
+            NetMessage(
+                kind=kind,
+                module="fd",
+                src=self.pid,
+                dst=dst,
+                payload=payload,
+                payload_size=payload_size,
+                header_size=header,
+            )
         )
-        done = self.cpu.execute(self.costs.send_cost(message.wire_size))
-        self.network.transmit(message, done)
 
-    def fd_schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
+    def fd_schedule(self, delay: float, callback: Callable[[], None]) -> asyncio.TimerHandle:
         """Schedule an FD-internal callback; suppressed after a crash."""
 
         def _fire() -> None:
             if self.alive:
                 callback()
 
-        return self.kernel.schedule(delay, _fire)
+        handle = self.loop.call_later(max(0.0, delay), _fire)
+        self._fd_timers.append(handle)
+        if len(self._fd_timers) > 64:
+            # Keep only handles still waiting to fire; the crash path
+            # cancels whatever remains here.
+            now = self.loop.time()
+            self._fd_timers = [
+                t for t in self._fd_timers if not t.cancelled() and t.when() > now
+            ]
+        return handle
 
     # ------------------------------------------------------------------
     # Network plumbing
     # ------------------------------------------------------------------
 
-    def _on_network_arrival(self, message: NetMessage) -> None:
+    def on_network_message(self, message: NetMessage) -> None:
+        """Entry point for the transport: route one arrived message."""
         if not self.alive:
             return
         if message.module == "fd":
             if self._fd is None:
                 raise ProtocolError(f"p{self.pid} got FD message without an FD")
-            cost = self.costs.recv_cost(message.wire_size)
-            self.cpu.execute(cost, lambda: self._dispatch_fd_message(message))
+            self._fd.handle_message(message)
             return
         module = self._by_name.get(message.module)
         if module is None:
             raise ProtocolError(
                 f"p{self.pid} has no module {message.module!r} for {message}"
             )
-        height = self._height[message.module]
-        cost = (
-            self.costs.recv_cost(message.wire_size)
-            + height * self.costs.boundary_crossing
-            + self.costs.dispatch
-        )
-        self.cpu.execute(cost, lambda: self._dispatch_message(module, message))
-
-    def _dispatch_fd_message(self, message: NetMessage) -> None:
-        if self.alive and self._fd is not None:
-            self._fd.handle_message(message)
-
-    def _dispatch_message(self, module: Microprotocol, message: NetMessage) -> None:
-        if not self.alive:
-            return
         self._run_handler(module, lambda: module.handle_message(message))
 
     # ------------------------------------------------------------------
@@ -303,27 +293,17 @@ class ProcessRuntime:
         header = self.net_config.base_header + self.net_config.per_module_header * (
             height + 1
         )
-        message = NetMessage(
-            kind=kind,
-            module=module.name,
-            src=self.pid,
-            dst=dst,
-            payload=payload,
-            payload_size=payload_size,
-            header_size=header,
+        self.transport.send(
+            NetMessage(
+                kind=kind,
+                module=module.name,
+                src=self.pid,
+                dst=dst,
+                payload=payload,
+                payload_size=payload_size,
+                header_size=header,
+            )
         )
-        first_copy = payload is not self._last_sent_payload or payload is None
-        self._last_sent_payload = payload
-        cost = (
-            self.costs.send_cost(message.wire_size, first_copy=first_copy)
-            + height * self.costs.boundary_crossing
-        )
-        done = self.cpu.execute(cost)
-        self.network.transmit(message, done)
-        if self._sends_until_crash is not None:
-            self._sends_until_crash -= 1
-            if self._sends_until_crash == 0:
-                self.crash()
 
     def _emit(self, module: Microprotocol, event: Event, *, direction: int) -> None:
         index = self._modules.index(module)
@@ -337,7 +317,6 @@ class ProcessRuntime:
                 "the bottom of the stack"
             )
         target = self._modules[target_index]
-        self.cpu.execute(self.costs.boundary_crossing + self.costs.dispatch)
         self._run_handler(target, lambda: target.handle_event(event))
 
     def _deliver_to_application(self, event: Event) -> None:
@@ -346,10 +325,8 @@ class ProcessRuntime:
                 f"top module emitted unexpected event {type(event).__name__} "
                 "to the application"
             )
-        when = self.cpu.execute(self.costs.adeliver)
-        self._trace.record(when, "abcast.adeliver", self.pid, event.message.msg_id)
         if self._adeliver_listener is not None:
-            self._adeliver_listener(self.pid, event.message, when)
+            self._adeliver_listener(self.pid, event.message, self.now)
 
     # ------------------------------------------------------------------
     # Timers
@@ -360,8 +337,6 @@ class ProcessRuntime:
         existing = self._timers.get(key)
         if existing is not None:
             existing.cancel()
-        base = max(self.kernel.now, self.cpu.busy_until)
-        fire_at = base + action.delay
 
         def _fire() -> None:
             if not self.alive:
@@ -369,12 +344,9 @@ class ProcessRuntime:
             if self._timers.get(key) is not handle:
                 return  # superseded by a later re-arm
             del self._timers[key]
-            self.cpu.execute(
-                self.costs.dispatch,
-                lambda: self._fire_timer(module, action.name, action.payload),
-            )
+            self._fire_timer(module, action.name, action.payload)
 
-        handle = self.kernel.schedule_at(fire_at, _fire)
+        handle = self.loop.call_later(max(0.0, action.delay), _fire)
         self._timers[key] = handle
 
     def _fire_timer(self, module: Microprotocol, name: str, payload: Any) -> None:

@@ -1,0 +1,359 @@
+"""Asyncio TCP transport: framing, per-peer FIFO streams, reconnect.
+
+Mirrors the channel model the stacks assume (and the simulator's
+:class:`~repro.net.network.Network` provides): quasi-reliable FIFO
+channels between every pair of processes, as TCP gives the paper's
+Fortika testbed.
+
+Topology: every process listens on one TCP port and additionally dials
+one *outgoing* connection per peer, used exclusively for its own sends
+to that peer. Inbound connections are receive-only. A single writer
+task per peer drains a FIFO queue, which makes per-(src, dst) ordering
+structural rather than accidental.
+
+Framing: each frame is a 4-byte big-endian length prefix followed by
+the body (see :func:`encode_frame` / :class:`FrameDecoder`; the decoder
+is a plain incremental parser so framing is testable without sockets).
+The first frame on every outgoing connection is a HELLO identifying the
+dialing process and the wire-format version; everything after is an
+encoded :class:`~repro.net.message.NetMessage`.
+
+Failure handling: a failed dial or a broken connection triggers
+reconnection with exponential backoff (capped). Delivery is exactly-once
+and in-order across reconnects, via a cumulative-ack protocol layered on
+the per-peer stream: the receiver answers every HELLO with the number of
+frames it has delivered from that peer (the *resume point*) and streams
+cumulative acks back as frames arrive; the sender dequeues a frame only
+once acked and, after reconnecting, resumes transmission exactly at the
+receiver's resume point. TCP alone cannot give this — a write into a
+connection whose peer already vanished "succeeds" into the socket
+buffer — which is why the ack layer exists. An outage therefore delays
+messages rather than dropping or duplicating them, the quasi-reliable
+FIFO channel the protocol stacks assume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from collections import deque
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.message import NetMessage, decode_message, encode_message
+from repro.net.wire import WIRE_FORMAT_VERSION, check_version
+
+#: Refuse frames bigger than this (a corrupt length prefix otherwise
+#: asks the decoder to buffer gigabytes).
+MAX_FRAME_SIZE = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: Cumulative frame counts exchanged by the ack protocol.
+_COUNT = struct.Struct(">Q")
+
+#: Callback invoked with every decoded protocol message.
+MessageHandler = Callable[[NetMessage], None]
+
+
+def encode_frame(body: bytes) -> bytes:
+    """Length-prefix *body* for the stream."""
+    if len(body) > MAX_FRAME_SIZE:
+        raise NetworkError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_SIZE}")
+    return _LENGTH.pack(len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental frame parser tolerant of split and coalesced reads.
+
+    TCP is a byte stream: one ``read()`` may return half a frame or
+    twelve frames and a half. Feed whatever arrives; complete frames
+    come out, the remainder stays buffered.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME_SIZE) -> None:
+        self._buffer = bytearray()
+        self._max_frame = max_frame
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Absorb *data*; return every frame it completed, in order."""
+        self._buffer.extend(data)
+        frames: list[bytes] = []
+        while len(self._buffer) >= _LENGTH.size:
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > self._max_frame:
+                raise NetworkError(
+                    f"incoming frame of {length} bytes exceeds {self._max_frame}"
+                )
+            if len(self._buffer) < _LENGTH.size + length:
+                break
+            start = _LENGTH.size
+            frames.append(bytes(self._buffer[start : start + length]))
+            del self._buffer[: start + length]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered waiting for the rest of a frame."""
+        return len(self._buffer)
+
+
+def hello_frame(pid: int) -> bytes:
+    """The identification frame opening every outgoing connection."""
+    return json.dumps({"v": WIRE_FORMAT_VERSION, "hello": pid}).encode("utf-8")
+
+
+def parse_hello(frame: bytes) -> int:
+    """Validate a HELLO frame; returns the dialing peer's pid."""
+    try:
+        document = json.loads(frame.decode("utf-8"))
+        check_version(document.get("v"))
+        return int(document["hello"])
+    except (UnicodeDecodeError, json.JSONDecodeError, KeyError, ValueError) as exc:
+        raise NetworkError(f"malformed transport HELLO: {exc}") from exc
+
+
+class TransportStats:
+    """Mutable per-transport counters (schema mirrors NetworkStats)."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.payload_bytes_sent = 0
+        self.messages_received = 0
+        self.reconnects = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy for control-channel reporting."""
+        return {
+            "messages_sent": self.messages_sent,
+            "bytes_sent": self.bytes_sent,
+            "payload_bytes_sent": self.payload_bytes_sent,
+            "messages_received": self.messages_received,
+            "reconnects": self.reconnects,
+        }
+
+
+class Transport:
+    """One process's TCP endpoint in a live group.
+
+    Args:
+        pid: This process's identifier.
+        addresses: ``pid -> (host, port)`` for the whole group, this
+            process included (that entry is where we listen).
+        on_message: Called in the event loop with every decoded message.
+        initial_backoff: First reconnect delay in seconds.
+        max_backoff: Backoff cap in seconds.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        addresses: dict[int, tuple[str, int]],
+        on_message: MessageHandler,
+        *,
+        initial_backoff: float = 0.05,
+        max_backoff: float = 1.0,
+    ) -> None:
+        if pid not in addresses:
+            raise NetworkError(f"addresses lack an entry for this process ({pid})")
+        self.pid = pid
+        self.stats = TransportStats()
+        self._addresses = dict(addresses)
+        self._on_message = on_message
+        self._initial_backoff = initial_backoff
+        self._max_backoff = max_backoff
+        self._queues: dict[int, deque[bytes]] = {
+            peer: deque() for peer in addresses if peer != pid
+        }
+        #: Global stream index of ``_queues[peer][0]`` — how many frames
+        #: to this peer have been acked (and dequeued) so far.
+        self._send_base: dict[int, int] = {peer: 0 for peer in self._queues}
+        #: How many frames from each peer were delivered to ``on_message``;
+        #: persists across that peer's reconnects (the resume point).
+        self._delivered: dict[int, int] = {}
+        self._queue_events: dict[int, asyncio.Event] = {}
+        self._server: asyncio.base_events.Server | None = None
+        self._sender_tasks: list[asyncio.Task] = []
+        self._inbound_writers: set[asyncio.StreamWriter] = set()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listening socket and begin dialing every peer."""
+        host, port = self._addresses[self.pid]
+        self._server = await asyncio.start_server(self._handle_inbound, host, port)
+        for peer in self._queues:
+            self._queue_events[peer] = asyncio.Event()
+            task = asyncio.create_task(
+                self._sender_loop(peer), name=f"transport.p{self.pid}->p{peer}"
+            )
+            self._sender_tasks.append(task)
+
+    async def close(self) -> None:
+        """Stop dialing, close the server and every open connection."""
+        self._closed = True
+        for event in self._queue_events.values():
+            event.set()
+        for task in self._sender_tasks:
+            task.cancel()
+        await asyncio.gather(*self._sender_tasks, return_exceptions=True)
+        self._sender_tasks.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._inbound_writers):
+            writer.close()
+        self._inbound_writers.clear()
+
+    @property
+    def listen_port(self) -> int:
+        """The actual bound port (useful when configured with port 0)."""
+        if self._server is None:
+            raise NetworkError("transport is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    # -- sending -----------------------------------------------------------
+
+    def send(self, message: NetMessage) -> None:
+        """Enqueue *message* for its destination (never blocks).
+
+        FIFO per destination: the peer's single writer task transmits
+        queued frames strictly in ``send()`` call order.
+        """
+        if self._closed:
+            return
+        queue = self._queues.get(message.dst)
+        if queue is None:
+            raise NetworkError(f"message to unknown process: {message}")
+        frame = encode_frame(encode_message(message))
+        queue.append(frame)
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += message.wire_size
+        self.stats.payload_bytes_sent += message.payload_size
+        event = self._queue_events.get(message.dst)
+        if event is not None:
+            event.set()
+
+    def pending_to(self, peer: int) -> int:
+        """Frames queued for *peer* but not yet accepted by the kernel."""
+        return len(self._queues[peer])
+
+    async def drain(self, timeout: float = 5.0, poll: float = 0.01) -> bool:
+        """Wait until every send queue is empty (best effort)."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while any(self._queues.values()):
+            if asyncio.get_running_loop().time() > deadline:
+                return False
+            await asyncio.sleep(poll)
+        return True
+
+    def _apply_ack(self, peer: int, count: int) -> None:
+        """Dequeue every frame the receiver has now delivered."""
+        queue = self._queues[peer]
+        while self._send_base[peer] < count and queue:
+            queue.popleft()
+            self._send_base[peer] += 1
+
+    async def _ack_loop(self, peer: int, reader: asyncio.StreamReader) -> None:
+        """Consume cumulative acks until the connection dies."""
+        while True:
+            data = await reader.readexactly(_COUNT.size)
+            (count,) = _COUNT.unpack(data)
+            self._apply_ack(peer, count)
+
+    async def _sender_loop(self, peer: int) -> None:
+        queue = self._queues[peer]
+        event = self._queue_events[peer]
+        backoff = self._initial_backoff
+        while not self._closed:
+            host, port = self._addresses[peer]
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+            except OSError:
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self._max_backoff)
+                continue
+            backoff = self._initial_backoff
+            ack_task: asyncio.Task | None = None
+            try:
+                writer.write(encode_frame(hello_frame(self.pid)))
+                await writer.drain()
+                # The receiver opens with its resume point: how many of
+                # our frames it has delivered. Anything below it was
+                # received even if the ack got lost with the previous
+                # connection; transmission restarts exactly there, so
+                # the stream is exactly-once and in-order end to end.
+                (resume,) = _COUNT.unpack(await reader.readexactly(_COUNT.size))
+                self._apply_ack(peer, resume)
+                # A resume point below our base means the peer endpoint
+                # is fresh (fail-stop processes do not restart; a new
+                # endpoint at the old address starts a new incarnation):
+                # frames already acked by the predecessor are gone, so
+                # transmission continues from the first unacked frame.
+                next_to_send = max(resume, self._send_base[peer])
+                ack_task = asyncio.create_task(self._ack_loop(peer, reader))
+                while not self._closed:
+                    if ack_task.done():
+                        raise ConnectionResetError("peer closed the connection")
+                    offset = next_to_send - self._send_base[peer]
+                    if offset >= len(queue):
+                        event.clear()
+                        waiter = asyncio.create_task(event.wait())
+                        try:
+                            await asyncio.wait(
+                                {waiter, ack_task},
+                                return_when=asyncio.FIRST_COMPLETED,
+                            )
+                        finally:
+                            waiter.cancel()
+                        continue
+                    writer.write(queue[offset])
+                    next_to_send += 1
+                    await writer.drain()
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                self.stats.reconnects += 1
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, self._max_backoff)
+            finally:
+                if ack_task is not None:
+                    ack_task.cancel()
+                writer.close()
+
+    # -- receiving ---------------------------------------------------------
+
+    async def _handle_inbound(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._inbound_writers.add(writer)
+        decoder = FrameDecoder()
+        peer: int | None = None
+        try:
+            while not self._closed:
+                data = await reader.read(64 * 1024)
+                if not data:
+                    return
+                progressed = False
+                for frame in decoder.feed(data):
+                    if peer is None:
+                        peer = parse_hello(frame)
+                        # Resume point: how many of this peer's frames
+                        # were already delivered (over any connection).
+                        writer.write(_COUNT.pack(self._delivered.get(peer, 0)))
+                        continue
+                    self._delivered[peer] = self._delivered.get(peer, 0) + 1
+                    self.stats.messages_received += 1
+                    progressed = True
+                    self._on_message(decode_message(frame))
+                if progressed:
+                    # One cumulative ack per read chunk, not per frame.
+                    writer.write(_COUNT.pack(self._delivered[peer]))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            return
+        finally:
+            self._inbound_writers.discard(writer)
+            writer.close()

@@ -1,0 +1,290 @@
+"""One live protocol process (``python -m repro.live.worker``).
+
+A worker is one member of a live group: it hosts an unchanged protocol
+stack on a :class:`~repro.live.runtime.LiveRuntime`, talks TCP to its
+peers through a :class:`~repro.live.transport.Transport`, generates its
+share of the open-loop workload behind the paper's flow-control window,
+and streams measurement samples to the orchestrator over a control
+connection (length-prefixed JSON frames, same framing as the data
+plane).
+
+Control protocol (worker perspective)::
+
+    -> {"type": "ready", "pid": ...}            after the listener is up
+    <- {"type": "start", "epoch": ...}          shared time origin
+    -> {"type": "samples", "accepts": [...], "delivers": [...],
+        "offered": k}                           every ~250 ms
+    <- {"type": "stop"}                         measurement over
+    -> {"type": "done", ...final counters...}   then the process exits
+
+The spec (group membership, stack, workload, windows) arrives as one
+JSON document in ``argv[1]`` — see :func:`worker_spec` in
+:mod:`repro.live.deploy` for the schema and an example.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import sys
+import time
+from typing import Any
+
+from repro.abcast.factory import build_process
+from repro.config import stack_from_label
+from repro.fd.heartbeat import HeartbeatFailureDetector
+from repro.flowcontrol.window import BacklogWindow
+from repro.live.runtime import LiveRuntime
+from repro.live.transport import FrameDecoder, Transport, encode_frame
+from repro.stack.module import Microprotocol
+from repro.workload.generator import FlowControlledSender
+
+#: How often buffered samples are flushed to the orchestrator.
+FLUSH_INTERVAL = 0.25
+
+#: Exit code of a worker whose runtime crashed (fail-stop semantics).
+CRASH_EXIT_CODE = 70
+
+
+def send_control(writer: asyncio.StreamWriter, document: dict) -> None:
+    """Frame and enqueue one control message."""
+    writer.write(encode_frame(json.dumps(document).encode("utf-8")))
+
+
+class Worker:
+    """Wires one process: transport, runtime, workload, control client."""
+
+    def __init__(self, spec: dict) -> None:
+        self.spec = spec
+        self.pid = int(spec["pid"])
+        self.n = int(spec["n"])
+        self.addresses = {
+            int(pid): (host, int(port))
+            for pid, (host, port) in spec["addresses"].items()
+        }
+        self.runtime: LiveRuntime | None = None
+        self.transport: Transport | None = None
+        self.sender: FlowControlledSender | None = None
+        self._accepts: list[list] = []
+        self._delivers: list[list] = []
+        self._offered_reported = 0
+        self._cpu_at_warmup = 0.0
+        self._instances_at_warmup = 0
+        self._network_at_warmup: dict = {}
+
+    # -- assembly ----------------------------------------------------------
+
+    def build(self) -> None:
+        """Construct transport + runtime + workload source."""
+        spec = self.spec
+        transport_holder: list[Transport] = []
+
+        def on_message(message: Any) -> None:
+            assert self.runtime is not None
+            self.runtime.on_network_message(message)
+
+        self.transport = Transport(self.pid, self.addresses, on_message)
+        transport_holder.append(self.transport)
+
+        def make_runtime(modules: list[Microprotocol]) -> LiveRuntime:
+            return LiveRuntime(
+                self.pid,
+                self.n,
+                modules,
+                transport_holder[0],
+                on_crash=lambda: os._exit(CRASH_EXIT_CODE),
+            )
+
+        runtime = build_process(
+            stack_from_label(spec["stack"]),
+            self.pid,
+            self.n,
+            make_runtime,
+            max_batch=spec.get("max_batch"),
+        )
+        assert isinstance(runtime, LiveRuntime)
+        self.runtime = runtime
+        if spec.get("fd", "heartbeat") == "heartbeat":
+            runtime.attach_failure_detector(
+                HeartbeatFailureDetector(
+                    spec.get("heartbeat_interval", 0.1),
+                    spec.get("fd_timeout", 1.0),
+                )
+            )
+        runtime.set_adeliver_listener(self._on_adeliver)
+        self.sender = FlowControlledSender(
+            runtime,
+            BacklogWindow(int(spec.get("window", 3))),
+            int(spec["size"]),
+            on_accept=self._on_accept,
+        )
+
+    # -- measurement hooks -------------------------------------------------
+
+    def _on_accept(self, message: Any) -> None:
+        self._accepts.append(
+            [message.msg_id.sender, message.msg_id.seq, message.size, message.abcast_time]
+        )
+
+    def _on_adeliver(self, pid: int, message: Any, when: float) -> None:
+        self._delivers.append([message.msg_id.sender, message.msg_id.seq, when])
+        if message.msg_id.sender == self.pid and self.sender is not None:
+            self.sender.on_own_delivery(message)
+
+    # -- workload ----------------------------------------------------------
+
+    def _schedule_arrivals(self) -> None:
+        """Open-loop uniform arrivals, as the paper's constant-rate load."""
+        assert self.runtime is not None and self.sender is not None
+        spec = self.spec
+        rate = float(spec["load"]) / self.n
+        interval = 1.0 / rate
+        stop_at = float(spec["warmup"]) + float(spec["duration"])
+        rng = random.Random(int(spec.get("seed", 1)) * 1000 + self.pid)
+        loop = self.runtime.loop
+
+        def tick() -> None:
+            assert self.runtime is not None and self.sender is not None
+            if self.runtime.now > stop_at or not self.runtime.alive:
+                return
+            self.sender.offer()
+            loop.call_later(interval, tick)
+
+        first_delay = max(0.0, rng.random() * interval - self.runtime.now)
+        loop.call_later(first_delay, tick)
+
+    def _at_warmup_end(self) -> None:
+        assert self.runtime is not None and self.transport is not None
+        self._cpu_at_warmup = time.process_time()
+        self._instances_at_warmup = self.runtime.modules[0].next_instance
+        self._network_at_warmup = self.transport.stats.snapshot()
+
+    # -- reporting ---------------------------------------------------------
+
+    def _drain_samples(self) -> dict | None:
+        assert self.sender is not None
+        offered_delta = self.sender.offered - self._offered_reported
+        if not self._accepts and not self._delivers and offered_delta == 0:
+            return None
+        self._offered_reported = self.sender.offered
+        document = {
+            "type": "samples",
+            "pid": self.pid,
+            "accepts": self._accepts,
+            "delivers": self._delivers,
+            "offered": offered_delta,
+        }
+        self._accepts = []
+        self._delivers = []
+        return document
+
+    def _done_document(self) -> dict:
+        assert self.runtime is not None and self.transport is not None
+        assert self.sender is not None
+        spec = self.spec
+        duration = float(spec["duration"])
+        network = self.transport.stats.snapshot()
+        window_network = {
+            key: network[key] - self._network_at_warmup.get(key, 0)
+            for key in network
+        }
+        cpu_busy = time.process_time() - self._cpu_at_warmup
+        return {
+            "type": "done",
+            "pid": self.pid,
+            "network": window_network,
+            "cpu_utilization": min(1.0, cpu_busy / duration) if duration > 0 else 0.0,
+            "instances_at_warmup": self._instances_at_warmup,
+            "instances_at_end": self.runtime.modules[0].next_instance,
+            "blocked_attempts": self.sender.window.total_blocked,
+            "messages_received": self.transport.stats.messages_received,
+        }
+
+    # -- main loop ---------------------------------------------------------
+
+    async def run(self) -> int:
+        """Execute the worker's whole life cycle; returns an exit code."""
+        spec = self.spec
+        self.build()
+        assert self.runtime is not None and self.transport is not None
+        await self.transport.start()
+
+        control_host, control_port = spec["control"]
+        reader, writer = await self._connect_control(control_host, int(control_port))
+        send_control(writer, {"type": "ready", "pid": self.pid})
+        await writer.drain()
+
+        flusher: asyncio.Task | None = None
+        try:
+            async for document in self._control_messages(reader):
+                if document["type"] == "start":
+                    self.runtime.set_epoch(float(document["epoch"]))
+                    self.runtime.start()
+                    self._schedule_arrivals()
+                    warmup_in = max(0.0, float(spec["warmup"]) - self.runtime.now)
+                    self.runtime.loop.call_later(warmup_in, self._at_warmup_end)
+                    flusher = asyncio.create_task(self._flush_loop(writer))
+                elif document["type"] == "stop":
+                    break
+            else:
+                # Control channel gone: orchestrator died; don't linger.
+                return 1
+        finally:
+            if flusher is not None:
+                flusher.cancel()
+
+        final = self._drain_samples()
+        if final is not None:
+            send_control(writer, final)
+        send_control(writer, self._done_document())
+        await writer.drain()
+        await self.transport.close()
+        writer.close()
+        return 0
+
+    async def _connect_control(
+        self, host: str, port: int
+    ) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        backoff = 0.05
+        deadline = time.monotonic() + 10.0
+        while True:
+            try:
+                return await asyncio.open_connection(host, port)
+            except OSError:
+                if time.monotonic() > deadline:
+                    raise
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, 0.5)
+
+    async def _control_messages(self, reader: asyncio.StreamReader):
+        decoder = FrameDecoder()
+        while True:
+            data = await reader.read(64 * 1024)
+            if not data:
+                return
+            for frame in decoder.feed(data):
+                yield json.loads(frame.decode("utf-8"))
+
+    async def _flush_loop(self, writer: asyncio.StreamWriter) -> None:
+        while True:
+            await asyncio.sleep(FLUSH_INTERVAL)
+            document = self._drain_samples()
+            if document is not None:
+                send_control(writer, document)
+                await writer.drain()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Worker entry point: ``python -m repro.live.worker '<spec json>'``."""
+    args = argv if argv is not None else sys.argv[1:]
+    if len(args) != 1:
+        print("usage: python -m repro.live.worker '<spec json>'", file=sys.stderr)
+        return 2
+    spec = json.loads(args[0])
+    return asyncio.run(Worker(spec).run())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

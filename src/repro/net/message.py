@@ -6,15 +6,23 @@ payload, and explicit size accounting. Sizes are modelled, not measured:
 ``payload_size`` is the number of bytes the real system would serialize,
 and ``header_size`` covers transport framing plus the stacked per-module
 headers of the composition framework.
+
+For the live runtime (:mod:`repro.live`) messages must actually cross
+process boundaries: :func:`encode_message` / :func:`decode_message`
+round-trip a :class:`NetMessage` through an explicit, versioned JSON
+wire format (see :mod:`repro.net.wire` — no pickling, unregistered
+payload types are rejected loudly).
 """
 
 from __future__ import annotations
 
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import NetworkError
+from repro.net.wire import WIRE_FORMAT_VERSION, check_version, decode_value, encode_value
 
 _MSG_COUNTER = itertools.count()
 
@@ -63,3 +71,51 @@ class NetMessage:
             f"{self.kind}({self.src}->{self.dst}, {self.wire_size}B, "
             f"module={self.module})"
         )
+
+
+def encode_message(message: NetMessage) -> bytes:
+    """Serialize *message* for the live transport (versioned, no pickle).
+
+    ``uid`` travels too: it is only unique per sending process, but the
+    receiving side uses it for tracing, never as a global key.
+    """
+    document = {
+        "v": WIRE_FORMAT_VERSION,
+        "kind": message.kind,
+        "module": message.module,
+        "src": message.src,
+        "dst": message.dst,
+        "payload": encode_value(message.payload),
+        "payload_size": message.payload_size,
+        "header_size": message.header_size,
+        "uid": message.uid,
+    }
+    return json.dumps(document, separators=(",", ":")).encode("utf-8")
+
+
+def decode_message(data: bytes) -> NetMessage:
+    """Inverse of :func:`encode_message`.
+
+    Raises :class:`~repro.errors.NetworkError` on malformed input or a
+    wire-format version this build does not speak.
+    """
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise NetworkError(f"malformed wire message: {exc}") from exc
+    if not isinstance(document, dict):
+        raise NetworkError(f"malformed wire message: {document!r}")
+    check_version(document.get("v"))
+    try:
+        return NetMessage(
+            kind=document["kind"],
+            module=document["module"],
+            src=document["src"],
+            dst=document["dst"],
+            payload=decode_value(document["payload"]),
+            payload_size=document["payload_size"],
+            header_size=document["header_size"],
+            uid=document["uid"],
+        )
+    except KeyError as exc:
+        raise NetworkError(f"wire message missing field {exc}") from exc

@@ -19,11 +19,14 @@ from repro.config import ArrivalProcess, WorkloadConfig
 from repro.flowcontrol.window import BacklogWindow
 from repro.sim.kernel import Kernel
 from repro.stack.events import AbcastRequest
-from repro.stack.runtime import ProcessRuntime
+from repro.stack.interface import RuntimeProtocol
 from repro.types import AppMessage, MessageId, SimTime
 
 #: Called when a message is accepted into the stack (for metrics).
 AcceptListener = Callable[[AppMessage], None]
+
+#: Called on every abcast attempt, before flow control (for metrics).
+OfferListener = Callable[[], None]
 
 
 class FlowControlledSender:
@@ -31,16 +34,18 @@ class FlowControlledSender:
 
     def __init__(
         self,
-        runtime: ProcessRuntime,
+        runtime: RuntimeProtocol,
         window: BacklogWindow,
         message_size: int,
         *,
         on_accept: AcceptListener | None = None,
+        on_offer: OfferListener | None = None,
     ) -> None:
         self.runtime = runtime
         self.window = window
         self.message_size = message_size
         self._on_accept = on_accept
+        self._on_offer = on_offer
         self._next_seq = 0
         self._queued_attempts = 0
         self._offered = 0
@@ -66,6 +71,8 @@ class FlowControlledSender:
     def offer(self) -> None:
         """One abcast attempt (an arrival of the offered load)."""
         self._offered += 1
+        if self._on_offer is not None:
+            self._on_offer()
         if self.window.try_acquire():
             self._inject()
         else:
@@ -89,7 +96,7 @@ class FlowControlledSender:
         message = AppMessage(
             msg_id=MessageId(self.runtime.pid, self._next_seq),
             size=self.message_size,
-            abcast_time=self.runtime.kernel.now,
+            abcast_time=self.runtime.now,
         )
         self._next_seq += 1
         self._holding_slots.add(message.msg_id)

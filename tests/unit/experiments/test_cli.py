@@ -67,6 +67,81 @@ def test_predict_command_prints_table(capsys):
     assert "T modular" in out
 
 
+def test_repro_errors_exit_with_usage_message(monkeypatch, capsys):
+    from repro.errors import ConfigurationError
+
+    def boom(*, fast, seeds):
+        raise ConfigurationError("synthetic config problem")
+
+    monkeypatch.setattr(cli, "figure8", boom)
+    assert cli.main(["figure8"]) == 2
+    err = capsys.readouterr().err
+    assert "error: synthetic config problem" in err
+    assert "--help" in err
+    assert "Traceback" not in err
+
+
+def test_nemesis_unknown_stack_label_is_a_clean_error(capsys):
+    assert cli.main(["nemesis", "--stacks", "no-such-stack"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "no-such-stack" in err
+
+
+def test_nemesis_unknown_faultload_file_is_a_clean_error(capsys):
+    assert cli.main(["nemesis", "--faultload", "/nonexistent/faults.json"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_live_command_routes_to_runner(monkeypatch, capsys):
+    import repro.live.deploy as deploy
+
+    seen = {}
+
+    def fake_run_live(spec):
+        seen["spec"] = spec
+        return {
+            "mode": "live",
+            "config": {
+                "n": spec.n, "stack": spec.stack, "load": spec.load,
+                "message_size": spec.size, "duration": spec.duration,
+                "warmup": spec.warmup,
+            },
+            "seed": spec.seed,
+            "metrics": {
+                "throughput": 10.0, "offered_rate": 10.0, "latency_mean": 0.001,
+                "latency_p50": 0.001, "latency_p95": 0.002, "latency_p99": 0.002,
+                "latency_count": 5, "blocked_attempts": 0, "stationary": True,
+            },
+            "network": {"messages_sent": 42},
+            "cpu_utilization": [0.1, 0.1],
+            "instances_decided": 5,
+            "events_executed": 0,
+        }
+
+    monkeypatch.setattr(deploy, "run_live", fake_run_live)
+    assert cli.main(["live", "--n", "2", "--stack", "sequencer", "--load", "20"]) == 0
+    assert seen["spec"].n == 2
+    assert seen["spec"].stack == "sequencer"
+    assert seen["spec"].load == 20.0
+    out = capsys.readouterr().out
+    assert "live run" in out and "throughput" in out
+
+
+def test_live_json_output_is_parseable(monkeypatch, capsys):
+    import json
+
+    import repro.live.deploy as deploy
+
+    monkeypatch.setattr(
+        deploy,
+        "run_live",
+        lambda spec: {"mode": "live", "metrics": {"throughput": 1.0}},
+    )
+    assert cli.main(["live", "--json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["mode"] == "live"
+
+
 def test_csv_flag_writes_figure_data(monkeypatch, tmp_path, capsys):
     from repro.config import RunConfig
     from repro.experiments.figures import figure8

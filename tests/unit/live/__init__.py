@@ -1,0 +1,1 @@
+"""Unit tests of the live (wall-clock TCP) runtime."""
