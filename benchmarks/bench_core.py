@@ -1,0 +1,204 @@
+"""Machine-readable benchmark harness for the simulator's hot core.
+
+Measures a fixed set of figure operating points — the simulator's
+dominant workloads — and emits a ``BENCH_<rev>.json`` snapshot with
+events/sec and wall-clock per point::
+
+    PYTHONPATH=src python benchmarks/bench_core.py            # write snapshot
+    PYTHONPATH=src python benchmarks/bench_core.py --check \\
+        benchmarks/BENCH_baseline.json                        # regression gate
+
+The regression gate compares events/sec (CPU-time based, minimum over
+``--reps`` repetitions, so scheduler noise on shared CI runners mostly
+cancels) against a committed baseline and fails when any point is more
+than ``--tolerance`` (default 25 %) slower. Being *faster* passes with a
+note to refresh the baseline.
+
+Unlike the ``bench_fig*.py`` pytest-benchmark suites (which assert the
+paper's qualitative results), this harness guards the *simulator's* own
+speed, so a refactor of the event loop cannot silently regress it.
+
+This file is import-safe under pytest collection (``bench_*.py`` is a
+collected pattern): all work happens inside ``main()``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.config import RunConfig, StackConfig, StackKind, WorkloadConfig
+from repro.experiments.runner import run_simulation
+
+#: Benchmark operating points: figure-representative (config, seed) pairs.
+#: Names are stable identifiers — the regression gate joins on them.
+BENCH_POINTS: dict[str, RunConfig] = {
+    "fig8_n3_modular_load7000": RunConfig(
+        n=3,
+        stack=StackConfig(kind=StackKind.MODULAR),
+        workload=WorkloadConfig(offered_load=7000.0, message_size=16384),
+    ),
+    "fig8_n3_monolithic_load7000": RunConfig(
+        n=3,
+        stack=StackConfig(kind=StackKind.MONOLITHIC),
+        workload=WorkloadConfig(offered_load=7000.0, message_size=16384),
+    ),
+    "fig9_n3_modular_size32768": RunConfig(
+        n=3,
+        stack=StackConfig(kind=StackKind.MODULAR),
+        workload=WorkloadConfig(offered_load=2000.0, message_size=32768),
+    ),
+    "fig10_n7_modular_load2000": RunConfig(
+        n=7,
+        stack=StackConfig(kind=StackKind.MODULAR),
+        workload=WorkloadConfig(offered_load=2000.0, message_size=16384),
+    ),
+    "fig11_n3_monolithic_size64": RunConfig(
+        n=3,
+        stack=StackConfig(kind=StackKind.MONOLITHIC),
+        workload=WorkloadConfig(offered_load=2000.0, message_size=64),
+    ),
+}
+
+BENCH_SEED = 1
+DEFAULT_REPS = 5
+DEFAULT_TOLERANCE = 0.25
+
+
+def measure_point(config: RunConfig, reps: int) -> dict:
+    """Run one point *reps* times; report the fastest repetition."""
+    best_cpu = float("inf")
+    best_wall = float("inf")
+    events = 0
+    for _ in range(reps):
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        result = run_simulation(config, seed=BENCH_SEED)
+        cpu = time.process_time() - cpu0
+        wall = time.perf_counter() - wall0
+        best_cpu = min(best_cpu, cpu)
+        best_wall = min(best_wall, wall)
+        events = result.events_executed  # deterministic across reps
+    return {
+        "wall_s": round(best_wall, 6),
+        "cpu_s": round(best_cpu, 6),
+        "events": events,
+        "events_per_sec": round(events / best_cpu, 1),
+    }
+
+
+def git_revision() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            cwd=Path(__file__).parent,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def run_bench(reps: int) -> dict:
+    """Measure every point and assemble the snapshot document."""
+    points = {}
+    for name, config in BENCH_POINTS.items():
+        points[name] = measure_point(config, reps)
+        print(
+            f"{name}: {points[name]['events_per_sec']:,.0f} events/s "
+            f"({points[name]['events']} events, "
+            f"{points[name]['cpu_s'] * 1e3:.0f} ms cpu)"
+        )
+    return {
+        "revision": git_revision(),
+        "python": platform.python_version(),
+        "reps": reps,
+        "seed": BENCH_SEED,
+        "points": points,
+    }
+
+
+def check_against(snapshot: dict, baseline: dict, tolerance: float) -> int:
+    """Gate *snapshot* against *baseline*; returns a process exit code."""
+    failures = []
+    for name, base in baseline["points"].items():
+        current = snapshot["points"].get(name)
+        if current is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        ratio = current["events_per_sec"] / base["events_per_sec"]
+        verdict = "ok"
+        if ratio < 1.0 - tolerance:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {ratio:.2f}x baseline events/sec "
+                f"(allowed ≥ {1.0 - tolerance:.2f}x)"
+            )
+        elif ratio > 1.0 + tolerance:
+            verdict = "faster (consider refreshing the baseline)"
+        print(f"check {name}: {ratio:.2f}x baseline — {verdict}")
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the simulator core and gate regressions."
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=DEFAULT_REPS,
+        help=f"repetitions per point, fastest wins (default: {DEFAULT_REPS})",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="snapshot path (default: benchmarks/BENCH_<rev>.json)",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE.json",
+        help="compare against a committed baseline; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed events/sec slowdown fraction (default: {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = run_bench(args.reps)
+    out = args.out
+    if out is None:
+        out = Path(__file__).parent / f"BENCH_{snapshot['revision']}.json"
+    out.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {out}")
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text(encoding="utf-8"))
+        return check_against(snapshot, baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

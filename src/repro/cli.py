@@ -7,6 +7,7 @@ Usage::
     python -m repro figure10           # throughput vs offered load
     python -m repro figure11           # throughput vs message size
     python -m repro figures            # all four (sharing sweeps)
+    python -m repro sweep              # both sweeps, no rendering
     python -m repro analysis           # §5.2 analytical tables + validation
     python -m repro ablation           # per-optimization ablation (§4)
     python -m repro predict            # design-time performance prediction
@@ -17,6 +18,11 @@ Usage::
 ``--fast`` uses a reduced grid and a single seed (seconds instead of
 minutes); ``--seeds N`` controls the ensemble size; ``--csv DIR`` also
 writes each regenerated figure's data as CSV into DIR.
+
+``--jobs N`` fans the sweep grid (and the nemesis cases) out over N
+worker processes. Results are merged in submission order, so the output
+— including a ``--json-out`` export — is byte-identical for every job
+count; parallelism only changes the wall-clock time.
 
 The ``nemesis`` command sweeps randomized fault schedules across the
 fault-tolerant stacks and checks the four atomic-broadcast properties
@@ -52,8 +58,11 @@ from repro.analysis.performance_model import predict_gap
 from repro.config import STACK_LABELS
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.ablation import ablation_table, run_ablation
-from repro.experiments.export import write_sweep_csv
+from repro.experiments.export import write_sweep_csv, write_sweeps_json
 from repro.experiments.figures import (
+    FAST_LOADS,
+    FAST_SEEDS,
+    FAST_SIZES,
     FigureReport,
     all_figures,
     figure8,
@@ -61,7 +70,14 @@ from repro.experiments.figures import (
     figure10,
     figure11,
 )
-from repro.experiments.report import format_table
+from repro.experiments.report import format_table, sweep_table
+from repro.experiments.sweeps import (
+    DEFAULT_SEEDS,
+    PAPER_LOADS,
+    PAPER_SIZES,
+    run_load_sweep,
+    run_size_sweep,
+)
 from repro.experiments.tables import analytical_table, validation_table
 from repro.nemesis import swarm as nemesis_swarm
 from repro.nemesis.schedule import SCENARIOS, resolve_faultload
@@ -72,6 +88,7 @@ COMMANDS = (
     "figure10",
     "figure11",
     "figures",
+    "sweep",
     "analysis",
     "ablation",
     "predict",
@@ -130,6 +147,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="also write each regenerated figure's data as CSV into DIR",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for sweep/nemesis grids (default: 1, "
+            "serial); results are identical for any value"
+        ),
+    )
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the regenerated sweep data as canonical JSON "
+            "(byte-identical across runs and --jobs values)"
+        ),
     )
     nemesis = parser.add_argument_group("nemesis options")
     nemesis.add_argument(
@@ -283,14 +320,14 @@ def _run_nemesis(args: argparse.Namespace) -> int:
         ]
 
     report = nemesis_swarm.SwarmReport()
-    for case in cases:
-        result = nemesis_swarm.run_case(case)
-        report.results.append(result)
+    results = nemesis_swarm.run_cases(cases, jobs=args.jobs)
+    report.results.extend(results)
+    for result in results:
         if not result.passed:
             minimal = (
                 result
                 if args.no_shrink
-                else nemesis_swarm.shrink_case(case)
+                else nemesis_swarm.shrink_case(result.case)
             )
             report.counterexamples.append(
                 nemesis_swarm.Counterexample(original=result, minimal=minimal)
@@ -378,6 +415,53 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
 
+def _resolved_seeds(args: argparse.Namespace) -> tuple[int, ...]:
+    if args.seeds:
+        return tuple(range(1, args.seeds + 1))
+    return FAST_SEEDS if args.fast else DEFAULT_SEEDS
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """Run the load and size sweeps without the figure rendering."""
+    seeds = _resolved_seeds(args)
+    load_sweep = run_load_sweep(
+        loads=FAST_LOADS if args.fast else PAPER_LOADS,
+        seeds=seeds,
+        jobs=args.jobs,
+    )
+    size_sweep = run_size_sweep(
+        sizes=FAST_SIZES if args.fast else PAPER_SIZES,
+        seeds=seeds,
+        jobs=args.jobs,
+    )
+    if args.json_out is not None:
+        write_sweeps_json(
+            {"offered_load": load_sweep, "message_size": size_sweep},
+            args.json_out,
+        )
+        print(f"[json] wrote {args.json_out}")
+        return 0
+    print("load sweep: early latency (ms) by offered load (msgs/s)")
+    print(sweep_table(load_sweep, "latency", x_label="load"))
+    print()
+    print("load sweep: throughput (msgs/s) by offered load (msgs/s)")
+    print(sweep_table(load_sweep, "throughput", x_label="load"))
+    print()
+    print("size sweep: early latency (ms) by message size (bytes)")
+    print(sweep_table(size_sweep, "latency", x_label="size"))
+    print()
+    print("size sweep: throughput (msgs/s) by message size (bytes)")
+    print(sweep_table(size_sweep, "throughput", x_label="size"))
+    return 0
+
+
+def _export_json(sweeps: dict, path: Path | None) -> None:
+    if path is None:
+        return
+    write_sweeps_json(sweeps, path)
+    print(f"[json] wrote {path}")
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     seeds = tuple(range(1, args.seeds + 1)) if args.seeds else None
 
@@ -390,6 +474,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_nemesis(args)
     if command == "live":
         return _run_live(args)
+    if command == "sweep":
+        return _run_sweep(args)
     if command in ("figure8", "figure9", "figure10", "figure11"):
         figure_fn = {
             "figure8": figure8,
@@ -397,13 +483,24 @@ def _dispatch(args: argparse.Namespace) -> int:
             "figure10": figure10,
             "figure11": figure11,
         }[command]
-        report = figure_fn(fast=args.fast, seeds=seeds)
+        report = figure_fn(fast=args.fast, seeds=seeds, jobs=args.jobs)
         emit(report)
         _maybe_export(report, args.csv)
+        if args.json_out is not None:
+            _export_json({report.sweep.parameter: report.sweep}, args.json_out)
     if command in ("figures", "all"):
-        for report in all_figures(fast=args.fast, seeds=seeds):
+        reports = all_figures(fast=args.fast, seeds=seeds, jobs=args.jobs)
+        for report in reports:
             emit(report)
             _maybe_export(report, args.csv)
+        if args.json_out is not None:
+            _export_json(
+                {
+                    reports[0].sweep.parameter: reports[0].sweep,
+                    reports[1].sweep.parameter: reports[1].sweep,
+                },
+                args.json_out,
+            )
     if command in ("predict", "all"):
         print("Design-time prediction (no simulation; repro.analysis.predict_gap):")
         emit(prediction_table())

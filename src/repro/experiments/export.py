@@ -1,19 +1,27 @@
-"""CSV export of sweep results.
+"""CSV and JSON export of sweep results.
 
 For users who want to re-plot the figures with their own tooling: every
 sweep (and therefore every figure) can be dumped as a tidy CSV with one
 row per (group size, stack, x) point, carrying means and 95 % CI
 half-widths for both metrics. ``python -m repro figures --csv DIR``
 writes one file per figure.
+
+The JSON export is *canonical*: keys sorted, fixed separators, NaNs
+mapped to ``null``, one trailing newline. Two runs of the same sweep
+produce byte-identical files — the determinism tests compare the
+``--jobs 1`` and ``--jobs 4`` exports with ``==`` on the raw bytes.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import IO
+from typing import IO, Any
 
-from repro.experiments.sweeps import SweepResult
+from repro.experiments.runner import RunResult
+from repro.experiments.sweeps import PointSummary, SweepResult
+from repro.metrics.stats import ConfidenceInterval
 
 #: Column order of the exported CSV.
 CSV_FIELDS = (
@@ -65,3 +73,84 @@ def write_sweep_csv(sweep: SweepResult, destination: IO[str] | str | Path) -> in
         )
         rows += 1
     return rows
+
+
+# -- canonical JSON ---------------------------------------------------------
+
+
+def _finite(value: float | None) -> float | None:
+    """NaN/None → None (canonical JSON must not contain bare ``NaN``)."""
+    if value is None or value != value:
+        return None
+    return value
+
+
+def _ci_to_dict(ci: ConfidenceInterval) -> dict[str, Any]:
+    return {
+        "mean": _finite(ci.mean),
+        "half_width": _finite(ci.half_width),
+        "confidence": ci.confidence,
+        "count": ci.count,
+    }
+
+
+def run_to_dict(run: RunResult) -> dict[str, Any]:
+    """Plain-dict form of one run (full per-seed fidelity)."""
+    metrics = run.metrics
+    return {
+        "seed": run.seed,
+        "metrics": {
+            "latency_mean": _finite(metrics.latency_mean),
+            "latency_p50": _finite(metrics.latency_p50),
+            "latency_p95": _finite(metrics.latency_p95),
+            "latency_p99": _finite(metrics.latency_p99),
+            "latency_count": metrics.latency_count,
+            "throughput": metrics.throughput,
+            "offered_rate": metrics.offered_rate,
+            "blocked_attempts": metrics.blocked_attempts,
+            "stationary": metrics.stationary,
+        },
+        "network": {key: run.network[key] for key in sorted(run.network)},
+        "cpu_utilization": list(run.cpu_utilization),
+        "instances_decided": run.instances_decided,
+        "events_executed": run.events_executed,
+    }
+
+
+def point_to_dict(point: PointSummary) -> dict[str, Any]:
+    """Plain-dict form of one sweep point, including its raw runs."""
+    return {
+        "n": point.n,
+        "stack": point.stack.value,
+        "x": point.x,
+        "latency": _ci_to_dict(point.latency),
+        "throughput": _ci_to_dict(point.throughput),
+        "delivered_per_consensus": _finite(point.delivered_per_consensus),
+        "stationary": point.stationary,
+        "runs": [run_to_dict(run) for run in point.runs],
+    }
+
+
+def sweep_to_dict(sweep: SweepResult) -> dict[str, Any]:
+    """Plain-dict form of a whole sweep (points in canonical order)."""
+    ordered = sorted(sweep.points, key=lambda p: (p.n, p.stack.value, p.x))
+    return {
+        "parameter": sweep.parameter,
+        "points": [point_to_dict(point) for point in ordered],
+    }
+
+
+def dumps_canonical(payload: Any) -> str:
+    """Serialize *payload* as canonical JSON (byte-stable across runs)."""
+    return (
+        json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+        + "\n"
+    )
+
+
+def write_sweeps_json(
+    sweeps: dict[str, SweepResult], destination: str | Path
+) -> None:
+    """Write named sweeps as one canonical JSON document."""
+    payload = {name: sweep_to_dict(sweep) for name, sweep in sweeps.items()}
+    Path(destination).write_text(dumps_canonical(payload), encoding="utf-8")

@@ -52,17 +52,23 @@ class FigureReport:
         return "\n".join(lines)
 
 
-def _load_sweep(fast: bool, seeds: tuple[int, ...] | None) -> SweepResult:
+def _load_sweep(
+    fast: bool, seeds: tuple[int, ...] | None, jobs: int = 1
+) -> SweepResult:
     return run_load_sweep(
         loads=FAST_LOADS if fast else PAPER_LOADS,
         seeds=seeds or (FAST_SEEDS if fast else DEFAULT_SEEDS),
+        jobs=jobs,
     )
 
 
-def _size_sweep(fast: bool, seeds: tuple[int, ...] | None) -> SweepResult:
+def _size_sweep(
+    fast: bool, seeds: tuple[int, ...] | None, jobs: int = 1
+) -> SweepResult:
     return run_size_sweep(
         sizes=FAST_SIZES if fast else PAPER_SIZES,
         seeds=seeds or (FAST_SEEDS if fast else DEFAULT_SEEDS),
+        jobs=jobs,
     )
 
 
@@ -71,9 +77,10 @@ def figure8(
     *,
     fast: bool = False,
     seeds: tuple[int, ...] | None = None,
+    jobs: int = 1,
 ) -> FigureReport:
     """Early latency vs offered load (abcast messages of 16384 bytes)."""
-    sweep = sweep or _load_sweep(fast, seeds)
+    sweep = sweep or _load_sweep(fast, seeds, jobs)
     high_load = max(p.x for p in sweep.points)
     return FigureReport(
         figure="Figure 8",
@@ -91,9 +98,10 @@ def figure9(
     *,
     fast: bool = False,
     seeds: tuple[int, ...] | None = None,
+    jobs: int = 1,
 ) -> FigureReport:
     """Early latency vs message size (offered load 2000 msgs/s)."""
-    sweep = sweep or _size_sweep(fast, seeds)
+    sweep = sweep or _size_sweep(fast, seeds, jobs)
     small = min(p.x for p in sweep.points)
     large = max(p.x for p in sweep.points)
     return FigureReport(
@@ -114,9 +122,10 @@ def figure10(
     *,
     fast: bool = False,
     seeds: tuple[int, ...] | None = None,
+    jobs: int = 1,
 ) -> FigureReport:
     """Throughput vs offered load (abcast messages of 16384 bytes)."""
-    sweep = sweep or _load_sweep(fast, seeds)
+    sweep = sweep or _load_sweep(fast, seeds, jobs)
     high_load = max(p.x for p in sweep.points)
     return FigureReport(
         figure="Figure 10",
@@ -135,9 +144,10 @@ def figure11(
     *,
     fast: bool = False,
     seeds: tuple[int, ...] | None = None,
+    jobs: int = 1,
 ) -> FigureReport:
     """Throughput vs message size (offered load 2000 msgs/s)."""
-    sweep = sweep or _size_sweep(fast, seeds)
+    sweep = sweep or _size_sweep(fast, seeds, jobs)
     small = min(p.x for p in sweep.points)
     large = max(p.x for p in sweep.points)
     return FigureReport(
@@ -153,10 +163,15 @@ def figure11(
     )
 
 
-def all_figures(*, fast: bool = False, seeds: tuple[int, ...] | None = None) -> list[FigureReport]:
+def all_figures(
+    *,
+    fast: bool = False,
+    seeds: tuple[int, ...] | None = None,
+    jobs: int = 1,
+) -> list[FigureReport]:
     """Regenerate all four figures, sharing sweeps as the paper does."""
-    load_sweep = _load_sweep(fast, seeds)
-    size_sweep = _size_sweep(fast, seeds)
+    load_sweep = _load_sweep(fast, seeds, jobs)
+    size_sweep = _size_sweep(fast, seeds, jobs)
     return [
         figure8(load_sweep),
         figure9(size_sweep),

@@ -33,6 +33,10 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
 def _format_ci(ci: ConfidenceInterval, scale: float, unit_digits: int) -> str:
     if ci.mean != ci.mean:  # NaN: no latency samples at this point
         return "n/a"
+    if ci.count == 1:
+        # Single-seed ensembles have no interval; "12.34±0.00" would
+        # misrepresent the (absent) variance, so print the mean alone.
+        return f"{ci.mean * scale:.{unit_digits}f}"
     return f"{ci.mean * scale:.{unit_digits}f}±{ci.half_width * scale:.{unit_digits}f}"
 
 

@@ -295,6 +295,8 @@ class Simulation:
         """
         self.start()
         self.kernel.run(until=self.config.total_time + drain)
+        for schedule in self.schedules:
+            schedule.finalize()
         blocked = sum(sender.window.total_blocked for sender in self.senders)
         metrics = self.metrics.finalize(blocked_attempts=blocked)
         if not metrics.stationary:

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.config import RunConfig, StackConfig, StackKind, WorkloadConfig
+from repro.experiments.parallel import run_simulations
 from repro.experiments.runner import RunResult, run_simulation
 from repro.metrics.stats import ConfidenceInterval, mean_confidence_interval
 
@@ -110,6 +111,27 @@ def _run_point(
     return summarize_point(n, stack, x, runs)
 
 
+def _run_grid(
+    specs: list[tuple[int, StackKind, float, RunConfig]],
+    seeds: tuple[int, ...],
+    jobs: int,
+) -> tuple[PointSummary, ...]:
+    """Run the whole (point × seed) grid, then regroup per point.
+
+    The grid is flattened so that parallel workers balance across the
+    entire sweep rather than one point's seeds; results come back in
+    submission order (see :mod:`repro.experiments.parallel`), so the
+    regrouping — and hence every summary — is identical for any *jobs*.
+    """
+    tasks = [(config, seed) for _, _, _, config in specs for seed in seeds]
+    results = run_simulations(tasks, jobs=jobs)
+    width = len(seeds)
+    return tuple(
+        summarize_point(n, stack, x, list(results[i * width : (i + 1) * width]))
+        for i, (n, stack, x, _) in enumerate(specs)
+    )
+
+
 def run_load_sweep(
     *,
     loads: tuple[float, ...] = PAPER_LOADS,
@@ -118,18 +140,24 @@ def run_load_sweep(
     stacks: tuple[StackKind, ...] = (StackKind.MODULAR, StackKind.MONOLITHIC),
     seeds: tuple[int, ...] = DEFAULT_SEEDS,
     base: RunConfig | None = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """The sweep behind Figs. 8 and 10: vary offered load at fixed size."""
     base = base or RunConfig()
-    points = []
+    specs = []
     for n in group_sizes:
         for stack in stacks:
             for load in loads:
                 workload = WorkloadConfig(
                     offered_load=float(load), message_size=message_size
                 )
-                points.append(_run_point(base, n, stack, workload, float(load), seeds))
-    return SweepResult(parameter="offered_load", points=tuple(points))
+                config = base.with_changes(
+                    n=n, stack=replace(base.stack, kind=stack), workload=workload
+                )
+                specs.append((n, stack, float(load), config))
+    return SweepResult(
+        parameter="offered_load", points=_run_grid(specs, seeds, jobs)
+    )
 
 
 def run_size_sweep(
@@ -140,15 +168,21 @@ def run_size_sweep(
     stacks: tuple[StackKind, ...] = (StackKind.MODULAR, StackKind.MONOLITHIC),
     seeds: tuple[int, ...] = DEFAULT_SEEDS,
     base: RunConfig | None = None,
+    jobs: int = 1,
 ) -> SweepResult:
     """The sweep behind Figs. 9 and 11: vary message size at fixed load."""
     base = base or RunConfig()
-    points = []
+    specs = []
     for n in group_sizes:
         for stack in stacks:
             for size in sizes:
                 workload = WorkloadConfig(
                     offered_load=offered_load, message_size=size
                 )
-                points.append(_run_point(base, n, stack, workload, float(size), seeds))
-    return SweepResult(parameter="message_size", points=tuple(points))
+                config = base.with_changes(
+                    n=n, stack=replace(base.stack, kind=stack), workload=workload
+                )
+                specs.append((n, stack, float(size), config))
+    return SweepResult(
+        parameter="message_size", points=_run_grid(specs, seeds, jobs)
+    )

@@ -83,6 +83,11 @@ class LiveSpec:
     host: str = "127.0.0.1"
     #: Post-window drain seconds.
     drain: float = DEFAULT_DRAIN
+    #: Which processes generate load (``None`` = all of them). The
+    #: offered load is split across the listed senders only; the
+    #: conformance tests use a single sender so the total order is
+    #: forced and directly comparable against the simulator's.
+    senders: tuple[int, ...] | None = None
 
     def validate(self) -> None:
         """Reject specs the deployment cannot run."""
@@ -95,6 +100,14 @@ class LiveSpec:
             )
         if self.fd not in ("heartbeat", "none"):
             raise DeploymentError(f"unknown live failure detector {self.fd!r}")
+        if self.senders is not None:
+            if not self.senders:
+                raise DeploymentError("senders must name at least one process")
+            bad = [pid for pid in self.senders if not 0 <= pid < self.n]
+            if bad:
+                raise DeploymentError(
+                    f"senders {bad} outside the group 0..{self.n - 1}"
+                )
 
 
 def reserve_ports(host: str, count: int) -> list[int]:
@@ -133,6 +146,7 @@ def worker_spec(
         "max_batch": spec.max_batch,
         "fd": spec.fd,
         "seed": spec.seed,
+        "senders": list(spec.senders) if spec.senders is not None else None,
         "addresses": {str(p): list(addr) for p, addr in addresses.items()},
         "control": [spec.host, control_port],
     }
@@ -236,8 +250,19 @@ async def _wait_event(
             continue
 
 
-def _reduce(spec: LiveSpec, control: _ControlServer) -> dict:
-    """Feed buffered samples through the simulator's collector."""
+def _reduce(
+    spec: LiveSpec,
+    control: _ControlServer,
+    delivery_log: dict[int, list[MessageId]] | None = None,
+) -> dict:
+    """Feed buffered samples through the simulator's collector.
+
+    When *delivery_log* is given, it is filled with each process's full
+    adelivery sequence, in that process's own delivery order (frames of
+    one worker arrive FIFO, and batches preserve local order). The log
+    stays out of the result dict so the shared sim/live result schema is
+    unchanged.
+    """
     collector = MetricsCollector(
         spec.n, window_start=spec.warmup, window_end=spec.warmup + spec.duration
     )
@@ -252,6 +277,8 @@ def _reduce(spec: LiveSpec, control: _ControlServer) -> dict:
             )
         for sender, seq, when in batch.get("delivers", ()):
             delivers.append((when, pid, MessageId(sender, seq)))
+            if delivery_log is not None:
+                delivery_log.setdefault(pid, []).append(MessageId(sender, seq))
     # Deliveries are replayed in timestamp order so "first delivery of
     # m" means the earliest across processes, regardless of how the
     # per-worker sample batches interleaved on the control channel.
@@ -281,7 +308,9 @@ def _reduce(spec: LiveSpec, control: _ControlServer) -> dict:
     )
 
 
-async def _run_live_async(spec: LiveSpec) -> dict:
+async def _run_live_async(
+    spec: LiveSpec, delivery_log: dict[int, list[MessageId]] | None = None
+) -> dict:
     ports = reserve_ports(spec.host, spec.n)
     addresses = {pid: (spec.host, ports[pid]) for pid in range(spec.n)}
 
@@ -318,14 +347,18 @@ async def _run_live_async(spec: LiveSpec) -> dict:
             if worker.stderr is not None:
                 worker.stderr.close()
 
-    return _reduce(spec, control)
+    return _reduce(spec, control, delivery_log)
 
 
-def run_live(spec: LiveSpec) -> dict:
+def run_live(
+    spec: LiveSpec, *, delivery_log: dict[int, list[MessageId]] | None = None
+) -> dict:
     """Deploy *spec* on localhost, run one measurement, return the result.
 
     Blocking convenience wrapper; roughly ``warmup + duration + drain``
-    seconds of wall-clock time plus process start-up.
+    seconds of wall-clock time plus process start-up. Pass a dict as
+    *delivery_log* to additionally capture every process's adelivery
+    sequence (pid → ordered list of message ids) out of band.
 
     Raises:
         DeploymentError: When workers die, never become ready, or stop
@@ -333,4 +366,4 @@ def run_live(spec: LiveSpec) -> dict:
         ConfigurationError: For an unknown stack label.
     """
     spec.validate()
-    return asyncio.run(_run_live_async(spec))
+    return asyncio.run(_run_live_async(spec, delivery_log))

@@ -136,10 +136,21 @@ class Worker:
     # -- workload ----------------------------------------------------------
 
     def _schedule_arrivals(self) -> None:
-        """Open-loop uniform arrivals, as the paper's constant-rate load."""
+        """Open-loop uniform arrivals, as the paper's constant-rate load.
+
+        When the spec restricts the workload to a subset of ``senders``,
+        the offered load is split across those processes only and the
+        rest stay silent (they still deliver, of course).
+        """
         assert self.runtime is not None and self.sender is not None
         spec = self.spec
-        rate = float(spec["load"]) / self.n
+        senders = spec.get("senders")
+        active = (
+            [int(pid) for pid in senders] if senders else list(range(self.n))
+        )
+        if self.pid not in active:
+            return
+        rate = float(spec["load"]) / len(active)
         interval = 1.0 / rate
         stop_at = float(spec["warmup"]) + float(spec["duration"])
         rng = random.Random(int(spec.get("seed", 1)) * 1000 + self.pid)

@@ -29,6 +29,13 @@ class ConfidenceInterval:
         return self.mean + self.half_width
 
     def __str__(self) -> str:
+        if self.mean != self.mean:  # NaN: no samples behind this mean
+            return "n/a"
+        if self.count == 1:
+            # One observation carries no variance information; showing
+            # "± 0.000" would dress the point up as a measured zero-width
+            # interval, so flag the ensemble size instead.
+            return f"{self.mean:.3f} (n=1)"
         return f"{self.mean:.3f} ± {self.half_width:.3f}"
 
 
@@ -45,13 +52,16 @@ def mean_confidence_interval(
     """Student-t confidence interval of the mean (the paper reports 95%).
 
     A single observation yields a zero-width interval (no variance
-    information), which the harness flags in its reports.
+    information), which renders without a ``±`` so it cannot be misread
+    as a measured zero-variance result. The half-width is always a
+    finite number — even when the mean itself is NaN (a placeholder for
+    "no samples"), the width degrades to 0.0 rather than NaN.
     """
     if not values:
         raise MetricsError("confidence interval of empty sequence")
     count = len(values)
     centre = mean(values)
-    if count == 1:
+    if count == 1 or centre != centre:
         return ConfidenceInterval(centre, 0.0, confidence, count)
     variance = sum((v - centre) ** 2 for v in values) / (count - 1)
     std_error = math.sqrt(variance / count)

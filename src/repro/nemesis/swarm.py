@@ -36,6 +36,7 @@ from repro.config import (
     WorkloadConfig,
 )
 from repro.errors import ConfigurationError, ReproError, StationarityWarning
+from repro.experiments.parallel import run_tasks
 from repro.experiments.runner import Simulation
 from repro.nemesis.broken import broken_stack_factory
 from repro.nemesis.invariants import (
@@ -286,6 +287,33 @@ def run_case(
     )
 
 
+def _case_task(task: tuple[NemesisCase, float]) -> CaseResult:
+    """Picklable per-case worker for :func:`run_cases`."""
+    case, liveness_bound = task
+    return run_case(case, liveness_bound=liveness_bound)
+
+
+def run_cases(
+    cases: Sequence[NemesisCase],
+    *,
+    liveness_bound: float = DEFAULT_LIVENESS_BOUND,
+    jobs: int = 1,
+    progress: Callable[[CaseResult], None] | None = None,
+) -> list[CaseResult]:
+    """Run a batch of cases, fanning out over *jobs* worker processes.
+
+    Results come back in case order regardless of *jobs* (cases are pure
+    functions of their fields, and the parallel map merges by submission
+    index), so a sweep report is identical for any job count.
+    """
+    tasks = [(case, liveness_bound) for case in cases]
+    results = run_tasks(_case_task, tasks, jobs=jobs)
+    if progress is not None:
+        for result in results:
+            progress(result)
+    return results
+
+
 def shrink_case(
     failing: NemesisCase, *, liveness_bound: float = DEFAULT_LIVENESS_BOUND
 ) -> CaseResult:
@@ -311,26 +339,32 @@ def sweep(
     *,
     shrink: bool = True,
     liveness_bound: float = DEFAULT_LIVENESS_BOUND,
+    jobs: int = 1,
     progress: Callable[[CaseResult], None] | None = None,
 ) -> SwarmReport:
-    """Sweep every (seed, stack) pair; shrink failures as they appear."""
+    """Sweep every (seed, stack) pair; shrink any failures afterwards.
+
+    Cases fan out over *jobs* worker processes; shrinking stays serial
+    (it is a sequential search, and failures are the rare case).
+    """
     report = SwarmReport()
-    for seed in seeds:
-        for stack in stacks:
-            case = generate_case(stack, seed, n)
-            result = run_case(case, liveness_bound=liveness_bound)
-            report.results.append(result)
-            if progress is not None:
-                progress(result)
-            if not result.passed:
-                minimal = (
-                    shrink_case(case, liveness_bound=liveness_bound)
-                    if shrink
-                    else result
-                )
-                report.counterexamples.append(
-                    Counterexample(original=result, minimal=minimal)
-                )
+    cases = [
+        generate_case(stack, seed, n) for seed in seeds for stack in stacks
+    ]
+    results = run_cases(
+        cases, liveness_bound=liveness_bound, jobs=jobs, progress=progress
+    )
+    report.results.extend(results)
+    for result in results:
+        if not result.passed:
+            minimal = (
+                shrink_case(result.case, liveness_bound=liveness_bound)
+                if shrink
+                else result
+            )
+            report.counterexamples.append(
+                Counterexample(original=result, minimal=minimal)
+            )
     return report
 
 

@@ -47,6 +47,11 @@ class FilterDecision:
 #: A message filter inspects a message and decides its fate.
 MessageFilter = Callable[[NetMessage], FilterDecision]
 
+#: Shared "deliver unperturbed" decision: the overwhelmingly common case,
+#: returned as a singleton so fault-free runs allocate nothing per message.
+_DELIVER_CLEAN = FilterDecision(Verdict.DELIVER, 0.0)
+_DROP = FilterDecision(Verdict.DROP, 0.0)
+
 
 def deliver_all(message: NetMessage) -> FilterDecision:  # noqa: ARG001
     """Default filter: every message is delivered unperturbed."""
@@ -59,6 +64,8 @@ class FaultInjector:
     Filters are applied in registration order; the first non-DELIVER
     verdict wins, and extra delays accumulate across DELIVER verdicts.
     """
+
+    __slots__ = ("_filters", "_crashed")
 
     def __init__(self) -> None:
         self._filters: list[MessageFilter] = []
@@ -106,11 +113,15 @@ class FaultInjector:
     def judge(self, message: NetMessage) -> FilterDecision:
         """Apply all filters (and crash state) to *message*."""
         if message.dst in self._crashed:
-            return FilterDecision.drop()
+            return _DROP
+        if not self._filters:
+            return _DELIVER_CLEAN
         total_delay = 0.0
         for message_filter in self._filters:
             decision = message_filter(message)
             if decision.verdict is Verdict.DROP:
                 return decision
             total_delay += decision.extra_delay
+        if total_delay == 0.0:
+            return _DELIVER_CLEAN
         return FilterDecision.deliver(total_delay)

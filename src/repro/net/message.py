@@ -42,6 +42,9 @@ class NetMessage:
         payload_size: Modelled serialized size of the payload in bytes.
         header_size: Modelled framing bytes (transport + module headers).
         uid: Unique id for tracing and FIFO bookkeeping.
+        wire_size: Total bytes occupying the link (computed; a plain
+            attribute rather than a property because it is read several
+            times per message on the simulator's hottest paths).
     """
 
     kind: str
@@ -51,7 +54,8 @@ class NetMessage:
     payload: Any
     payload_size: int
     header_size: int
-    uid: int = field(default_factory=lambda: next(_MSG_COUNTER))
+    uid: int = field(default_factory=_MSG_COUNTER.__next__)
+    wire_size: int = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_size < 0:
@@ -60,11 +64,7 @@ class NetMessage:
             raise NetworkError(f"negative header size: {self.header_size}")
         if self.src == self.dst:
             raise NetworkError(f"message from {self.src} to itself")
-
-    @property
-    def wire_size(self) -> int:
-        """Total bytes occupying the link."""
-        return self.payload_size + self.header_size
+        self.wire_size = self.payload_size + self.header_size
 
     def __str__(self) -> str:
         return (

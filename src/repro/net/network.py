@@ -20,6 +20,7 @@ Quasi-reliability: if neither endpoint crashes, every message arrives
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable
 
 from repro.config import NetworkConfig
@@ -36,7 +37,11 @@ DeliverFn = Callable[[NetMessage], None]
 
 
 class Network:
-    """Full mesh of quasi-reliable FIFO channels with NIC modelling."""
+    """Full mesh of quasi-reliable FIFO channels with NIC modelling.
+
+    Deliberately *not* slotted: tests wrap :meth:`transmit` with spies,
+    which needs a writable instance ``__dict__``.
+    """
 
     def __init__(
         self,
@@ -56,11 +61,19 @@ class Network:
         self.stats = stats if stats is not None else NetworkStats()
         self.faults = faults if faults is not None else FaultInjector()
         self._trace = trace if trace is not None else NullTraceRecorder()
-        self._deliver: dict[int, DeliverFn] = {}
+        self._deliver: list[DeliverFn | None] = [None] * n
         #: Time at which each process's transmit NIC becomes free.
         self._nic_free: list[SimTime] = [0.0] * n
+        #: Per-pair one-way delays, precomputed (NetworkConfig is frozen,
+        #: so these cannot change mid-run).
+        self._delay: list[list[float]] = [
+            [config.delay(src, dst) for dst in range(n)] for src in range(n)
+        ]
+        self._bandwidth = config.bandwidth
         #: Last scheduled arrival per (src, dst), for FIFO enforcement.
-        self._last_arrival: dict[tuple[int, int], SimTime] = {}
+        #: Indexed ``[src][dst]`` — a flat n×n matrix beats a dict keyed
+        #: by (src, dst) tuples on every single message.
+        self._last_arrival: list[list[SimTime]] = [[0.0] * n for __ in range(n)]
 
     def register(self, process: int, deliver: DeliverFn) -> None:
         """Attach the receive handler of *process*."""
@@ -77,47 +90,61 @@ class Network:
         bandwidth, propagates, and is delivered unless a fault filter
         drops it or the destination has crashed by arrival time.
         """
-        if message.dst >= self.n or message.dst < 0:
+        src = message.src
+        dst = message.dst
+        if dst >= self.n or dst < 0:
             raise NetworkError(f"message to unknown process: {message}")
         if depart_time < self._kernel.now:
             raise NetworkError(
                 f"depart_time {depart_time} is in the past (now={self._kernel.now})"
             )
-        if self.faults.is_crashed(message.src):
+        trace = self._trace
+        if self.faults.is_crashed(src):
             # Fail-stop guard: a crashed process never puts *new* frames
             # on the wire. (Frames handed to the NIC before the crash
             # were transmitted before mark_crashed ran, so they still
             # depart — the documented in-flight semantics.)
             self.stats.on_send_after_crash(message)
-            self._trace.record(depart_time, "net.crashed_send", message.src, message)
+            if trace.enabled:
+                trace.record(depart_time, "net.crashed_send", src, message)
             return
         self.stats.on_transmit(message)
-        self._trace.record(depart_time, "net.send", message.src, message)
+        if trace.enabled:
+            trace.record(depart_time, "net.send", src, message)
 
-        tx_start = max(depart_time, self._nic_free[message.src])
-        tx_end = tx_start + message.wire_size / self.config.bandwidth
-        self._nic_free[message.src] = tx_end
+        nic_free = self._nic_free
+        tx_start = nic_free[src]
+        if depart_time > tx_start:
+            tx_start = depart_time
+        tx_end = tx_start + message.wire_size / self._bandwidth
+        nic_free[src] = tx_end
 
-        arrival = tx_end + self.config.delay(message.src, message.dst)
+        arrival = tx_end + self._delay[src][dst]
         decision = self.faults.judge(message)
         if decision.verdict is Verdict.DROP:
-            self._trace.record(arrival, "net.drop", message.dst, message)
+            if trace.enabled:
+                trace.record(arrival, "net.drop", dst, message)
             return
         arrival += decision.extra_delay
 
-        pair = (message.src, message.dst)
-        arrival = max(arrival, self._last_arrival.get(pair, 0.0))
-        self._last_arrival[pair] = arrival
+        row = self._last_arrival[src]
+        if arrival < row[dst]:
+            arrival = row[dst]
+        row[dst] = arrival
 
-        self._kernel.schedule_at(arrival, lambda: self._arrive(message))
+        # arrival >= depart_time >= now (extra_delay is never negative),
+        # so the unchecked fast path is safe.
+        self._kernel.post(arrival, partial(self._arrive, message))
 
     def _arrive(self, message: NetMessage) -> None:
         """Hand an arriving message to the destination, if still alive."""
-        if self.faults.is_crashed(message.dst):
-            self._trace.record(self._kernel.now, "net.dead_drop", message.dst, message)
+        dst = message.dst
+        if self.faults.is_crashed(dst):
+            self._trace.record(self._kernel.now, "net.dead_drop", dst, message)
             return
-        deliver = self._deliver.get(message.dst)
+        deliver = self._deliver[dst]
         if deliver is None:
-            raise NetworkError(f"no receiver registered for process {message.dst}")
-        self._trace.record(self._kernel.now, "net.recv", message.dst, message)
+            raise NetworkError(f"no receiver registered for process {dst}")
+        if self._trace.enabled:
+            self._trace.record(self._kernel.now, "net.recv", dst, message)
         deliver(message)

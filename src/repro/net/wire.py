@@ -40,15 +40,26 @@ _BY_TYPE: dict[type, str] = {}
 _payloads_loaded = False
 
 
-def wire_payload(cls: type[_T]) -> type[_T]:
-    """Class decorator registering a payload dataclass with the codec.
+def _field_names(cls: type) -> tuple[str, ...]:
+    """Wire field names of a registered payload class."""
+    if is_dataclass(cls):
+        return tuple(f.name for f in fields(cls))
+    return cls._fields  # NamedTuple
 
-    The class name is its wire tag, so renaming a registered class is a
-    wire-format change (bump :data:`WIRE_FORMAT_VERSION`).
+
+def wire_payload(cls: type[_T]) -> type[_T]:
+    """Class decorator registering a payload class with the codec.
+
+    Payloads are dataclasses or NamedTuples (both expose their fields by
+    name and reconstruct from keyword arguments). The class name is its
+    wire tag, so renaming a registered class is a wire-format change
+    (bump :data:`WIRE_FORMAT_VERSION`).
     """
     tag = cls.__name__
-    if not is_dataclass(cls):
-        raise TypeError(f"wire payloads must be dataclasses: {cls!r}")
+    if not is_dataclass(cls) and not (
+        issubclass(cls, tuple) and hasattr(cls, "_fields")
+    ):
+        raise TypeError(f"wire payloads must be dataclasses or NamedTuples: {cls!r}")
     if tag in _CONTAINER_TAGS:
         raise TypeError(f"payload tag {tag!r} collides with a container tag")
     registered = _BY_TAG.get(tag)
@@ -89,6 +100,18 @@ def encode_value(value: Any) -> Any:
     _ensure_payloads()
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
+    # Registered payloads take precedence over the container branches:
+    # NamedTuple payloads (e.g. MessageId) are tuples too, and must
+    # round-trip as their registered type, not as a bare tuple.
+    tag = _BY_TYPE.get(type(value))
+    if tag is not None:
+        return {
+            "$t": tag,
+            "f": {
+                name: encode_value(getattr(value, name))
+                for name in _field_names(type(value))
+            },
+        }
     if isinstance(value, bytes):
         return {"$t": "bytes", "hex": value.hex()}
     if isinstance(value, tuple):
@@ -103,16 +126,10 @@ def encode_value(value: Any) -> Any:
             "$t": "dict",
             "items": [[encode_value(k), encode_value(v)] for k, v in value.items()],
         }
-    tag = _BY_TYPE.get(type(value))
-    if tag is None:
-        raise NetworkError(
-            f"cannot serialize unregistered payload type {type(value).__name__!r}; "
-            "register it with @repro.net.wire.wire_payload"
-        )
-    return {
-        "$t": tag,
-        "f": {f.name: encode_value(getattr(value, f.name)) for f in fields(value)},
-    }
+    raise NetworkError(
+        f"cannot serialize unregistered payload type {type(value).__name__!r}; "
+        "register it with @repro.net.wire.wire_payload"
+    )
 
 
 def decode_value(encoded: Any) -> Any:

@@ -28,6 +28,8 @@ class Cpu:
     completion instant on the owning kernel.
     """
 
+    __slots__ = ("_kernel", "_speed", "_busy_until", "_busy_time", "_halted")
+
     def __init__(self, kernel: Kernel, *, speed: float = 1.0) -> None:
         if speed <= 0:
             raise SimulationError(f"CPU speed must be positive, got {speed}")
@@ -78,11 +80,16 @@ class Cpu:
             raise SimulationError(f"CPU cost must be non-negative, got {cost}")
         if self._halted:
             raise SimulationError("cannot queue work on a halted CPU")
+        kernel = self._kernel
         service = cost / self._speed
-        start = max(self._kernel.now, self._busy_until)
+        start = self._busy_until
+        now = kernel.now
+        if now > start:
+            start = now
         done = start + service
         self._busy_until = done
         self._busy_time += service
         if callback is not None:
-            self._kernel.schedule_at(done, callback)
+            # done >= now by construction, so the unchecked fast path is safe.
+            kernel.post(done, callback)
         return done

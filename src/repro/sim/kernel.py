@@ -9,6 +9,7 @@ loop.
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -28,12 +29,30 @@ class Kernel:
         now: Current simulated time in seconds. Monotonically
             non-decreasing while :meth:`run` executes.
         rng: Registry of named random streams for this run.
+        post: Bound fast path equal to ``EventQueue.post``: schedule a
+            callback at an *absolute* time with no past-check, no
+            cancellation handle and no per-event allocation. Hot internal
+            callers (CPU completions, network arrivals, workload ticks)
+            use it when the target time is ≥ :attr:`now` by construction;
+            everything else should go through :meth:`schedule` /
+            :meth:`schedule_at`, which validate and return a handle.
     """
+
+    __slots__ = (
+        "now",
+        "rng",
+        "post",
+        "_queue",
+        "_max_events",
+        "_events_executed",
+        "_stopped",
+    )
 
     def __init__(self, *, seed: int = 0, max_events: int = DEFAULT_MAX_EVENTS) -> None:
         self.now: SimTime = 0.0
         self.rng = RngRegistry(seed)
         self._queue = EventQueue()
+        self.post = self._queue.post
         self._max_events = max_events
         self._events_executed = 0
         self._stopped = False
@@ -94,27 +113,39 @@ class Kernel:
                 always indicates a zero-delay event loop in protocol code.
         """
         self._stopped = False
-        while not self._stopped:
-            next_time = self._queue.peek_time()
-            if next_time is None:
+        # The loop below is the single hottest function of the whole
+        # simulator: peek/pop are fused and operate on the heap directly
+        # (no per-event method-call round trips through EventQueue).
+        heap = self._queue._heap
+        heappop = heapq.heappop
+        max_events = self._max_events
+        executed = self._events_executed
+        scheduled_event = ScheduledEvent
+        while heap and not self._stopped:
+            entry = heap[0]
+            item = entry[2]
+            if item.__class__ is scheduled_event:
+                if item.cancelled:
+                    heappop(heap)
+                    continue
+                item = item.callback
+            time = entry[0]
+            if until is not None and time > until:
                 break
-            if until is not None and next_time > until:
-                break
-            event = self._queue.pop()
-            if event is None:  # everything remaining was cancelled
-                break
-            if event.time < self.now:
+            heappop(heap)
+            if time < self.now:
                 raise SimulationError(
-                    f"event queue returned past event ({event.time} < {self.now})"
+                    f"event queue returned past event ({time} < {self.now})"
                 )
-            self.now = event.time
-            self._events_executed += 1
-            if self._events_executed > self._max_events:
+            self.now = time
+            executed += 1
+            self._events_executed = executed
+            if executed > max_events:
                 raise SimulationError(
-                    f"exceeded event budget of {self._max_events} events; "
+                    f"exceeded event budget of {max_events} events; "
                     "likely a zero-delay event loop in protocol logic"
                 )
-            event.callback()
+            item()
         if until is not None and self.now < until and not self._stopped:
             self.now = until
         return self.now

@@ -30,6 +30,7 @@ larger messages) is implemented in :mod:`repro.abcast.monolithic`.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable
 
 from repro.config import CpuCosts, NetworkConfig
@@ -60,6 +61,29 @@ __all__ = ["AdeliverListener", "ProcessRuntime"]
 class ProcessRuntime:
     """Hosts one process's protocol stack on the simulation kernel."""
 
+    __slots__ = (
+        "pid",
+        "kernel",
+        "network",
+        "costs",
+        "net_config",
+        "cpu",
+        "alive",
+        "crashed_at",
+        "_trace",
+        "_modules",
+        "_by_name",
+        "_height",
+        "_index",
+        "_send_header",
+        "_crossing_extra",
+        "_timers",
+        "_adeliver_listener",
+        "_fd",
+        "_sends_until_crash",
+        "_last_sent_payload",
+    )
+
     def __init__(
         self,
         pid: int,
@@ -80,6 +104,11 @@ class ProcessRuntime:
         self.net_config = net_config
         self.cpu = Cpu(kernel)
         self.alive = True
+        #: Simulated time of the crash, or ``None`` while alive. Lets
+        #: observers that account lazily (e.g. the workload generator's
+        #: blocked-tick batching) reconstruct what happened before the
+        #: crash without subscribing to it.
+        self.crashed_at: SimTime | None = None
         self._trace = trace if trace is not None else NullTraceRecorder()
 
         #: Modules ordered top (application side) to bottom (network side).
@@ -87,12 +116,30 @@ class ProcessRuntime:
         self._by_name: dict[str, Microprotocol] = {}
         #: Height of each module: bottom module is 0.
         self._height: dict[str, int] = {}
+        #: Stack position of each module (0 = top); avoids list.index()
+        #: scans on the emit hot path.
+        self._index: dict[str, int] = {}
+        #: Precomputed wire header bytes for sends from each module
+        #: (base + one per-module header per descended module).
+        self._send_header: dict[str, int] = {}
+        #: Precomputed ``height * boundary_crossing`` per module — the
+        #: exact float product the send/recv cost formulas use, computed
+        #: once instead of per message. Keeping the product (rather than
+        #: folding it into a larger sum) preserves the bit-exact
+        #: association order of the original cost expressions.
+        self._crossing_extra: dict[str, float] = {}
         depth = len(modules)
         for index, module in enumerate(modules):
             if module.name in self._by_name:
                 raise ProtocolError(f"duplicate module name {module.name!r}")
             self._by_name[module.name] = module
-            self._height[module.name] = depth - 1 - index
+            height = depth - 1 - index
+            self._height[module.name] = height
+            self._index[module.name] = index
+            self._send_header[module.name] = (
+                net_config.base_header + net_config.per_module_header * (height + 1)
+            )
+            self._crossing_extra[module.name] = height * costs.boundary_crossing
 
         self._timers: dict[tuple[str, str], ScheduledEvent] = {}
         self._adeliver_listener: AdeliverListener | None = None
@@ -154,7 +201,7 @@ class ProcessRuntime:
             return
         self.cpu.execute(self.costs.dispatch)
         top = self._modules[0]
-        self._run_handler(top, lambda: top.handle_event(event))
+        self._execute_actions(top, top.handle_event(event))
 
     # ------------------------------------------------------------------
     # Crash semantics
@@ -165,6 +212,7 @@ class ProcessRuntime:
         if not self.alive:
             return
         self.alive = False
+        self.crashed_at = self.kernel.now
         self.cpu.halt()
         self.network.faults.mark_crashed(self.pid)
         for timer in self._timers.values():
@@ -236,24 +284,28 @@ class ProcessRuntime:
     def _on_network_arrival(self, message: NetMessage) -> None:
         if not self.alive:
             return
-        if message.module == "fd":
+        name = message.module
+        if name == "fd":
             if self._fd is None:
                 raise ProtocolError(f"p{self.pid} got FD message without an FD")
             cost = self.costs.recv_cost(message.wire_size)
-            self.cpu.execute(cost, lambda: self._dispatch_fd_message(message))
+            self.cpu.execute(cost, partial(self._dispatch_fd_message, message))
             return
-        module = self._by_name.get(message.module)
+        module = self._by_name.get(name)
         if module is None:
             raise ProtocolError(
-                f"p{self.pid} has no module {message.module!r} for {message}"
+                f"p{self.pid} has no module {name!r} for {message}"
             )
-        height = self._height[message.module]
+        # Same expression as recv_cost(wire) + height*boundary + dispatch,
+        # with the height product precomputed (identical association).
+        costs = self.costs
         cost = (
-            self.costs.recv_cost(message.wire_size)
-            + height * self.costs.boundary_crossing
-            + self.costs.dispatch
+            costs.recv_fixed
+            + costs.recv_per_byte * message.wire_size
+            + self._crossing_extra[name]
+            + costs.dispatch
         )
-        self.cpu.execute(cost, lambda: self._dispatch_message(module, message))
+        self.cpu.execute(cost, partial(self._dispatch_message, module, message))
 
     def _dispatch_fd_message(self, message: NetMessage) -> None:
         if self.alive and self._fd is not None:
@@ -262,7 +314,7 @@ class ProcessRuntime:
     def _dispatch_message(self, module: Microprotocol, message: NetMessage) -> None:
         if not self.alive:
             return
-        self._run_handler(module, lambda: module.handle_message(message))
+        self._execute_actions(module, module.handle_message(message))
 
     # ------------------------------------------------------------------
     # Action execution
@@ -273,23 +325,27 @@ class ProcessRuntime:
         self._execute_actions(module, actions)
 
     def _execute_actions(self, module: Microprotocol, actions: list[Action]) -> None:
+        # Class-identity dispatch: the action vocabulary is closed (no
+        # subclasses exist), and `type is` beats an isinstance chain on
+        # the busiest branch of the simulator.
         for action in actions:
             if not self.alive:
                 return
-            if isinstance(action, Send):
+            cls = action.__class__
+            if cls is Send:
                 self._do_send(module, action.dst, action.kind, action.payload, action.payload_size)
-            elif isinstance(action, SendToAll):
+            elif cls is SendToAll:
                 for dst in module.ctx.others:
                     if not self.alive:
                         return
                     self._do_send(module, dst, action.kind, action.payload, action.payload_size)
-            elif isinstance(action, EmitUp):
+            elif cls is EmitUp:
                 self._emit(module, action.event, direction=-1)
-            elif isinstance(action, EmitDown):
+            elif cls is EmitDown:
                 self._emit(module, action.event, direction=+1)
-            elif isinstance(action, StartTimer):
+            elif cls is StartTimer:
                 self._start_timer(module, action)
-            elif isinstance(action, CancelTimer):
+            elif cls is CancelTimer:
                 self._cancel_timer(module, action.name)
             else:
                 raise ProtocolError(
@@ -299,13 +355,21 @@ class ProcessRuntime:
     def _do_send(
         self, module: Microprotocol, dst: int, kind: str, payload: Any, payload_size: int
     ) -> None:
-        height = self._height[module.name]
-        header = self.net_config.base_header + self.net_config.per_module_header * (
-            height + 1
-        )
+        name = module.name
+        extra = self._crossing_extra.get(name)
+        if extra is None:
+            # White-box tests rename modules behind the runtime's back;
+            # fall back to the uncached formulas.
+            height = self._height[name]
+            header = self.net_config.base_header + self.net_config.per_module_header * (
+                height + 1
+            )
+            extra = height * self.costs.boundary_crossing
+        else:
+            header = self._send_header[name]
         message = NetMessage(
             kind=kind,
-            module=module.name,
+            module=name,
             src=self.pid,
             dst=dst,
             payload=payload,
@@ -314,10 +378,14 @@ class ProcessRuntime:
         )
         first_copy = payload is not self._last_sent_payload or payload is None
         self._last_sent_payload = payload
-        cost = (
-            self.costs.send_cost(message.wire_size, first_copy=first_copy)
-            + height * self.costs.boundary_crossing
-        )
+        # Same expression as send_cost(wire, first_copy=...) +
+        # height*boundary, with the height product precomputed.
+        costs = self.costs
+        wire = message.wire_size
+        cost = costs.send_fixed + costs.send_per_byte * wire
+        if first_copy:
+            cost += costs.serialize_per_byte * wire
+        cost = cost + extra
         done = self.cpu.execute(cost)
         self.network.transmit(message, done)
         if self._sends_until_crash is not None:
@@ -326,7 +394,9 @@ class ProcessRuntime:
                 self.crash()
 
     def _emit(self, module: Microprotocol, event: Event, *, direction: int) -> None:
-        index = self._modules.index(module)
+        index = self._index.get(module.name)
+        if index is None:
+            index = self._modules.index(module)
         target_index = index + direction
         if direction < 0 and target_index < 0:
             self._deliver_to_application(event)
@@ -338,7 +408,7 @@ class ProcessRuntime:
             )
         target = self._modules[target_index]
         self.cpu.execute(self.costs.boundary_crossing + self.costs.dispatch)
-        self._run_handler(target, lambda: target.handle_event(event))
+        self._execute_actions(target, target.handle_event(event))
 
     def _deliver_to_application(self, event: Event) -> None:
         if not isinstance(event, AdeliverIndication):
@@ -347,7 +417,8 @@ class ProcessRuntime:
                 "to the application"
             )
         when = self.cpu.execute(self.costs.adeliver)
-        self._trace.record(when, "abcast.adeliver", self.pid, event.message.msg_id)
+        if self._trace.enabled:
+            self._trace.record(when, "abcast.adeliver", self.pid, event.message.msg_id)
         if self._adeliver_listener is not None:
             self._adeliver_listener(self.pid, event.message, when)
 

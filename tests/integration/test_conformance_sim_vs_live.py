@@ -1,0 +1,124 @@
+"""Sim-vs-live conformance: same protocol code, same observable contract.
+
+The simulator and the live runtime execute the *identical* protocol
+stack modules; what differs is the substrate (virtual clock + modelled
+costs vs asyncio + real TCP). These tests pin the conformance claim:
+
+* with a single sender, the total delivery order is fully determined
+  (the sender's FIFO sequence), and both substrates must produce it
+  exactly — every process, both modes, no reordering anywhere;
+* both modes reduce to the same ``RunResult``-schema dictionary, key
+  for key, so downstream tooling never branches on the mode.
+
+Marked ``slow``: each test deploys real OS processes over TCP and costs
+a few wall-clock seconds; CI runs them in the live-smoke job
+(``pytest -m slow``), not in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import Simulation
+from repro.live.compare import matched_run_config
+from repro.live.deploy import LiveSpec, run_live
+from repro.live.results import sim_result_to_dict
+from repro.types import MessageId
+from repro.workload.generator import ArrivalSchedule
+
+pytestmark = pytest.mark.slow
+
+#: One sender, low rate, sub-second window: the order is forced and the
+#: run is short, but several consensus instances still decide.
+CONFORMANCE_SPEC = dict(
+    n=3,
+    load=30.0,
+    size=256,
+    duration=0.8,
+    warmup=0.3,
+    drain=0.4,
+    senders=(0,),
+)
+
+
+def run_live_logged(stack: str) -> tuple[dict, dict[int, list[MessageId]]]:
+    log: dict[int, list[MessageId]] = {}
+    result = run_live(
+        LiveSpec(stack=stack, **CONFORMANCE_SPEC), delivery_log=log
+    )
+    return result, log
+
+
+def run_sim_logged(stack: str) -> tuple[dict, dict[int, list[MessageId]]]:
+    """The matched simulation, also restricted to a single sender."""
+    spec = LiveSpec(stack=stack, **CONFORMANCE_SPEC)
+    config = matched_run_config(spec)
+    simulation = Simulation(config, seed=spec.seed, with_workload=False)
+    # Only process 0 generates load, mirroring spec.senders == (0,); the
+    # whole offered load lands on that one schedule (n=1).
+    simulation.schedules.append(
+        ArrivalSchedule(
+            simulation.kernel,
+            simulation.senders[0],
+            config.workload,
+            1,
+            stop_at=config.total_time,
+            rng_name="workload.p0",
+        )
+    )
+    log: dict[int, list[MessageId]] = {}
+    simulation.add_adeliver_listener(
+        lambda pid, message, time: log.setdefault(pid, []).append(message.msg_id)
+    )
+    result = simulation.run()
+    return sim_result_to_dict(result), log
+
+
+def assert_single_sender_order(log: dict[int, list[MessageId]], n: int) -> None:
+    """Every process delivered 0's messages in strict sequence order."""
+    assert set(log) <= set(range(n))
+    for pid, sequence in log.items():
+        assert sequence, f"process {pid} delivered nothing"
+        assert all(m.sender == 0 for m in sequence)
+        seqs = [m.seq for m in sequence]
+        assert seqs == sorted(set(seqs)), (
+            f"process {pid} broke the single-sender order: {seqs}"
+        )
+        assert seqs == list(range(seqs[0], seqs[0] + len(seqs))), (
+            f"process {pid} skipped a message: {seqs}"
+        )
+
+
+@pytest.mark.parametrize("stack", ["monolithic", "modular"])
+def test_delivery_order_conforms(stack):
+    """Identical single-sender delivery order in both execution modes."""
+    live_result, live_log = run_live_logged(stack)
+    sim_result, sim_log = run_sim_logged(stack)
+
+    assert_single_sender_order(live_log, 3)
+    assert_single_sender_order(sim_log, 3)
+
+    # Both modes produce prefixes of the one canonical order; the common
+    # part of any two logs (across processes AND modes) must agree.
+    all_logs = list(live_log.values()) + list(sim_log.values())
+    for i, a in enumerate(all_logs):
+        for b in all_logs[i + 1 :]:
+            shared = min(len(a), len(b))
+            assert a[:shared] == b[:shared]
+
+    assert live_result["metrics"]["throughput"] > 0
+    assert sim_result["metrics"]["throughput"] > 0
+
+
+def test_result_schema_matches():
+    """Both modes fill the exact same RunResult-shaped dictionary."""
+    live_result, __ = run_live_logged("monolithic")
+    sim_result, __ = run_sim_logged("monolithic")
+    assert set(live_result) == set(sim_result)
+    assert set(live_result["metrics"]) == set(sim_result["metrics"])
+    assert set(live_result["config"]) == set(sim_result["config"])
+    assert live_result["mode"] == "live"
+    assert sim_result["mode"] == "sim"
+    for key in ("messages_sent", "bytes_sent", "payload_bytes_sent"):
+        assert key in live_result["network"]
+        assert key in sim_result["network"]

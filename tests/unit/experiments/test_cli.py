@@ -13,20 +13,22 @@ class FakeReport:
 def test_figure_command_routes_to_driver(monkeypatch, capsys):
     calls = {}
 
-    def fake_figure8(*, fast, seeds):
-        calls["args"] = (fast, seeds)
+    def fake_figure8(*, fast, seeds, jobs):
+        calls["args"] = (fast, seeds, jobs)
         return FakeReport()
 
     monkeypatch.setattr(cli, "figure8", fake_figure8)
     assert cli.main(["figure8", "--fast"]) == 0
-    assert calls["args"] == (True, None)
+    assert calls["args"] == (True, None, 1)
     assert "FAKE FIGURE REPORT" in capsys.readouterr().out
 
 
 def test_seeds_flag_builds_seed_tuple(monkeypatch):
     seen = {}
     monkeypatch.setattr(
-        cli, "figure9", lambda *, fast, seeds: seen.update(seeds=seeds) or FakeReport()
+        cli,
+        "figure9",
+        lambda *, fast, seeds, jobs: seen.update(seeds=seeds) or FakeReport(),
     )
     cli.main(["figure9", "--seeds", "4"])
     assert seen["seeds"] == (1, 2, 3, 4)
@@ -34,7 +36,7 @@ def test_seeds_flag_builds_seed_tuple(monkeypatch):
 
 def test_figures_command_prints_all(monkeypatch, capsys):
     monkeypatch.setattr(
-        cli, "all_figures", lambda *, fast, seeds: [FakeReport(), FakeReport()]
+        cli, "all_figures", lambda *, fast, seeds, jobs: [FakeReport(), FakeReport()]
     )
     cli.main(["figures", "--fast"])
     assert capsys.readouterr().out.count("FAKE FIGURE REPORT") == 2
@@ -70,7 +72,7 @@ def test_predict_command_prints_table(capsys):
 def test_repro_errors_exit_with_usage_message(monkeypatch, capsys):
     from repro.errors import ConfigurationError
 
-    def boom(*, fast, seeds):
+    def boom(*, fast, seeds, jobs):
         raise ConfigurationError("synthetic config problem")
 
     monkeypatch.setattr(cli, "figure8", boom)
@@ -142,6 +144,24 @@ def test_live_json_output_is_parseable(monkeypatch, capsys):
     assert document["mode"] == "live"
 
 
+def test_sweep_command_writes_canonical_json(monkeypatch, tmp_path, capsys):
+    import json
+
+    target = tmp_path / "sweeps.json"
+    assert cli.main(["sweep", "--fast", "--json-out", str(target)]) == 0
+    document = json.loads(target.read_text())
+    assert set(document) == {"offered_load", "message_size"}
+    assert document["offered_load"]["points"]
+    assert str(target) in capsys.readouterr().out
+
+
+def test_sweep_command_prints_tables(capsys):
+    assert cli.main(["sweep", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "latency" in out and "throughput" in out
+    assert "n=3 monolithic" in out
+
+
 def test_csv_flag_writes_figure_data(monkeypatch, tmp_path, capsys):
     from repro.config import RunConfig
     from repro.experiments.figures import figure8
@@ -152,7 +172,7 @@ def test_csv_flag_writes_figure_data(monkeypatch, tmp_path, capsys):
         base=RunConfig(duration=0.3, warmup=0.15),
     )
     monkeypatch.setattr(
-        cli, "figure8", lambda *, fast, seeds: figure8(sweep)
+        cli, "figure8", lambda *, fast, seeds, jobs: figure8(sweep)
     )
     cli.main(["figure8", "--csv", str(tmp_path)])
     target = tmp_path / "figure8.csv"

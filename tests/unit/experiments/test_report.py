@@ -30,7 +30,9 @@ def test_latency_table_contains_curves_and_rows(tiny_sweep):
     assert "n=3 monolithic" in text
     assert "n=3 modular" in text
     assert "200" in text and "400" in text
-    assert "±" in text
+    # Single-seed sweep: means only — a "±0.00" here would dress the
+    # absent variance information up as a measured zero-width interval.
+    assert "±" not in text
 
 
 def test_throughput_table(tiny_sweep):

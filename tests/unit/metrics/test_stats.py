@@ -54,6 +54,28 @@ def test_interval_str_format():
     assert "±" in str(mean_confidence_interval([1.0, 2.0]))
 
 
+def test_single_observation_str_has_no_interval():
+    # "5.000 ± 0.000" would misread as measured zero variance; one
+    # sample renders as its value flagged with the ensemble size.
+    text = str(mean_confidence_interval([5.0]))
+    assert "±" not in text
+    assert "n=1" in text
+    assert "5.000" in text
+
+
+def test_nan_mean_renders_as_na_and_keeps_width_finite():
+    ci = mean_confidence_interval([float("nan")])
+    assert str(ci) == "n/a"
+    assert ci.half_width == 0.0
+
+
+def test_nan_values_in_ensemble_never_produce_nan_width():
+    ci = mean_confidence_interval([1.0, float("nan"), 2.0])
+    assert ci.half_width == ci.half_width  # not NaN
+    assert ci.half_width == 0.0
+    assert str(ci) == "n/a"
+
+
 def test_relative_difference():
     assert relative_difference(100.0, 110.0) == pytest.approx(10 / 110)
     assert relative_difference(0.0, 0.0) == 0.0
