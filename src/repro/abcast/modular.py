@@ -98,6 +98,29 @@ class ModularAtomicBroadcast(Microprotocol):
         """The next consensus instance this process will decide."""
         return self._next_decide
 
+    # -- crash recovery ----------------------------------------------------
+
+    def resume_at(self, next_instance: int, delivered: set[MessageId]) -> None:
+        """Fast-forward a freshly built stack to a recovered position.
+
+        Called once, before any traffic, on a worker that restarted
+        after a crash and caught up via WAL + state transfer:
+        *delivered* ids were already adelivered by the previous
+        incarnation (or applied during catch-up) and must never be
+        adelivered again, and the next consensus instance this process
+        participates in is *next_instance* — proposing instance 0 again
+        would stall forever, because round-1 coordinators never re-run
+        decided instances (laggards are served decisions on demand via
+        the consensus recovery path instead).
+        """
+        self._next_decide = max(self._next_decide, next_instance)
+        self._adelivered.update(delivered)
+        for msg_id in delivered:
+            self._unordered.pop(msg_id, None)
+            self._arrival_generation.pop(msg_id, None)
+        for instance in [i for i in self._pending_decisions if i < self._next_decide]:
+            del self._pending_decisions[instance]
+
     # -- stimuli ---------------------------------------------------------
 
     def handle_event(self, event: Event) -> list[Action]:

@@ -115,6 +115,24 @@ class MonolithicAtomicBroadcast(BaseConsensus):
         """The next consensus instance this process will adeliver."""
         return self._next_decide
 
+    # -- crash recovery ----------------------------------------------------
+
+    def resume_at(self, next_instance: int, delivered: set[MessageId]) -> None:
+        """Fast-forward a freshly built stack to a recovered position.
+
+        Same contract as
+        :meth:`repro.abcast.modular.ModularAtomicBroadcast.resume_at`:
+        applied once before any traffic on a restarted worker, after it
+        re-applied its WAL prefix and state-transferred the rest.
+        """
+        self._next_decide = max(self._next_decide, next_instance)
+        self._adelivered.update(delivered)
+        for msg_id in delivered:
+            self._pool.pop(msg_id, None)
+            self._relayed.discard(msg_id)
+        for instance in [i for i in self._pending_decisions if i < self._next_decide]:
+            del self._pending_decisions[instance]
+
     # -- stimuli -----------------------------------------------------------
 
     def handle_event(self, event: Event) -> list[Action]:

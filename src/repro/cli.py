@@ -37,6 +37,15 @@ On failure it shrinks the schedule to a 1-minimal counterexample,
 writes it as JSON (``--out DIR``) and prints the replay command; the
 exit code is 1 so CI fails loudly.
 
+``nemesis --live`` compiles the *same* faultload onto a real deployment
+(OS processes, TCP): crashes become timed ``SIGKILL`` + restart with
+write-ahead-log recovery, partitions and delay spikes become transport
+link directives. The merged per-worker delivery logs are then checked
+against the same four invariants plus liveness::
+
+    python -m repro nemesis --live --faultload crash-leader --stack modular
+    python -m repro nemesis --live --replay ce.json
+
 The ``live`` command deploys the *same* protocol stacks over real
 asyncio TCP sockets between OS processes on localhost (see
 :mod:`repro.live`)::
@@ -213,6 +222,22 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report failures without shrinking them first",
     )
+    nemesis.add_argument(
+        "--live",
+        action="store_true",
+        help=(
+            "run the faultload against a real TCP deployment (SIGKILL + "
+            "WAL recovery) instead of the simulator; needs --faultload "
+            "or --replay"
+        ),
+    )
+    nemesis.add_argument(
+        "--restart-delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="delay between a live SIGKILL and the restart (default: 0.4)",
+    )
     live = parser.add_argument_group("live options")
     live.add_argument(
         "--stack",
@@ -281,7 +306,62 @@ def _print_violations(result: "nemesis_swarm.CaseResult") -> None:
             print(f"    {line}")
 
 
+def _run_nemesis_live(args: argparse.Namespace) -> int:
+    from repro.live.deploy import LiveSpec
+    from repro.live.faults import DEFAULT_RESTART_DELAY, run_nemesis_live
+
+    if args.replay is not None:
+        case = nemesis_swarm.load_case(args.replay)
+        print(f"replaying live: {case.describe()}")
+        faultload, stack, n = case.faultload, case.stack, case.n
+    elif args.faultload is not None:
+        faultload = resolve_faultload(args.faultload, n=args.n)
+        stack, n = args.stack, args.n
+    else:
+        raise ConfigurationError(
+            "nemesis --live needs a fixed schedule: pass --faultload SPEC "
+            "(named scenario or JSON file) or --replay CASE.json"
+        )
+    spec = LiveSpec(
+        n=n,
+        stack=stack,
+        load=args.load,
+        size=args.size,
+        duration=args.duration,
+        warmup=args.warmup,
+    )
+    restart_delay = (
+        args.restart_delay if args.restart_delay is not None
+        else DEFAULT_RESTART_DELAY
+    )
+    report = run_nemesis_live(spec, faultload, restart_delay=restart_delay)
+    print(f"live faultload on stack={stack} n={n}:")
+    for line in report.timeline:
+        print(f"  {line}")
+    recovered = (
+        ", ".join(f"worker {pid}" for pid in report.recovered) or "none"
+    )
+    print(
+        f"merged logs: {report.accepted} accepted, {report.deliveries} "
+        f"deliveries checked; kills={report.kills} restarts={report.restarts} "
+        f"recovered={recovered}"
+    )
+    if report.wal_truncated_bytes:
+        print(f"WAL torn tails truncated: {report.wal_truncated_bytes} bytes")
+    if report.backpressure_stalls:
+        print(f"backpressure stalls: {report.backpressure_stalls}")
+    if report.passed:
+        print("PASS: all invariants held across crash and recovery")
+        return 0
+    print(f"FAIL: {len(report.violations)} violation(s)")
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 1
+
+
 def _run_nemesis(args: argparse.Namespace) -> int:
+    if args.live:
+        return _run_nemesis_live(args)
     if args.replay is not None:
         case = nemesis_swarm.load_case(args.replay)
         print(f"replaying {case.describe()}")

@@ -17,18 +17,31 @@ testbed methodology:
 * :mod:`repro.live.deploy` — the orchestrator: spawns workers, drives
   the open-loop workload, collects samples over a control channel and
   reduces them to the same schema as the simulator's ``RunResult``;
+* :mod:`repro.live.wal` — the per-worker write-ahead delivery log
+  (CRC-framed, fsync-batched) crash recovery reads back;
+* :mod:`repro.live.faults` — ``nemesis --live``: compile a faultload
+  onto the deployment (SIGKILL + WAL recovery, link directives) and
+  check the merged delivery logs against the abcast invariants;
 * :mod:`repro.live.compare` — sim-vs-live side-by-side reports.
 """
 
 from repro.live.deploy import LiveSpec, run_live
+from repro.live.faults import LiveNemesisReport, run_nemesis_live
 from repro.live.runtime import LiveRuntime
 from repro.live.transport import FrameDecoder, Transport, encode_frame
+from repro.live.wal import WalState, WalWriter, load_wal_state, read_wal
 
 __all__ = [
     "FrameDecoder",
+    "LiveNemesisReport",
     "LiveRuntime",
     "LiveSpec",
     "Transport",
+    "WalState",
+    "WalWriter",
     "encode_frame",
+    "load_wal_state",
+    "read_wal",
     "run_live",
+    "run_nemesis_live",
 ]

@@ -33,6 +33,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 import socket
 import subprocess
 import sys
@@ -88,6 +89,16 @@ class LiveSpec:
     #: conformance tests use a single sender so the total order is
     #: forced and directly comparable against the simulator's.
     senders: tuple[int, ...] | None = None
+    #: Per-peer cap on unacked transport frames; at the cap the
+    #: transport signals congestion and the arrival scheduler stalls
+    #: (``backpressure_stalls``) instead of growing the queue.
+    max_unacked: int = 1024
+    #: Cap on the top module's backlog of messages awaiting ordering;
+    #: the ordering core's credit contribution to the same gate.
+    unordered_cap: int = 512
+    #: Directory for per-worker write-ahead delivery logs (crash
+    #: recovery); ``None`` disables logging — the fault-free default.
+    wal_dir: str | None = None
 
     def validate(self) -> None:
         """Reject specs the deployment cannot run."""
@@ -131,9 +142,22 @@ def reserve_ports(host: str, count: int) -> list[int]:
 
 
 def worker_spec(
-    spec: LiveSpec, pid: int, addresses: dict[int, tuple[str, int]], control_port: int
+    spec: LiveSpec,
+    pid: int,
+    addresses: dict[int, tuple[str, int]],
+    control_port: int,
+    *,
+    recover: bool = False,
 ) -> dict:
-    """The JSON document handed to one worker on its command line."""
+    """The JSON document handed to one worker on its command line.
+
+    With ``recover=True`` the worker is a restarted incarnation: it
+    reloads its write-ahead log (same path as its predecessor) and runs
+    the rejoin protocol before taking load.
+    """
+    wal = None
+    if spec.wal_dir is not None:
+        wal = os.path.join(spec.wal_dir, f"worker-{pid}.wal")
     return {
         "pid": pid,
         "n": spec.n,
@@ -149,6 +173,10 @@ def worker_spec(
         "senders": list(spec.senders) if spec.senders is not None else None,
         "addresses": {str(p): list(addr) for p, addr in addresses.items()},
         "control": [spec.host, control_port],
+        "max_unacked": spec.max_unacked,
+        "unordered_cap": spec.unordered_cap,
+        "wal": wal,
+        "recover": recover,
     }
 
 
@@ -162,6 +190,12 @@ class _ControlServer:
         self.done: dict[int, dict] = {}
         self.all_ready = asyncio.Event()
         self.all_done = asyncio.Event()
+        self._recovered_events: dict[int, asyncio.Event] = {}
+        #: The start epoch, once broadcast. A worker restarted by the
+        #: nemesis orchestrator re-sends ``ready`` mid-run and must get
+        #: the same epoch immediately — all timestamps of one run share
+        #: one time origin, first or second incarnation alike.
+        self.epoch: float | None = None
 
     async def handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         decoder = FrameDecoder()
@@ -182,11 +216,17 @@ class _ControlServer:
     def _dispatch(self, document: dict, writer: asyncio.StreamWriter) -> None:
         kind = document.get("type")
         if kind == "ready":
-            self.ready[int(document["pid"])] = writer
+            pid = int(document["pid"])
+            self.ready[pid] = writer
             if len(self.ready) == self.n:
                 self.all_ready.set()
+            if self.epoch is not None:
+                # Late (restarted) worker: the run already started.
+                self.send_to(pid, {"type": "start", "epoch": self.epoch})
         elif kind == "samples":
             self.samples.append(document)
+        elif kind == "recovered":
+            self.recovery_event(int(document["pid"])).set()
         elif kind == "done":
             self.done[int(document["pid"])] = document
             if len(self.done) == self.n:
@@ -194,10 +234,37 @@ class _ControlServer:
         else:
             raise DeploymentError(f"unknown control message {document!r}")
 
+    def recovery_event(self, pid: int) -> asyncio.Event:
+        """Set once worker *pid* reports WAL recovery complete.
+
+        The nemesis orchestrator waits on it after a scheduled restart:
+        fork/exec plus interpreter start-up is real wall-clock time, so
+        the restart *instant* says nothing about when the worker is
+        actually caught up again.
+        """
+        return self._recovered_events.setdefault(pid, asyncio.Event())
+
     def broadcast(self, document: dict) -> None:
+        if document.get("type") == "start":
+            self.epoch = float(document["epoch"])
         frame = encode_frame(json.dumps(document).encode("utf-8"))
         for writer in self.ready.values():
+            self._write(writer, frame)
+
+    def send_to(self, pid: int, document: dict) -> None:
+        """Send one directive to one worker (fault injection)."""
+        writer = self.ready.get(pid)
+        if writer is not None:
+            self._write(writer, encode_frame(json.dumps(document).encode("utf-8")))
+
+    @staticmethod
+    def _write(writer: asyncio.StreamWriter, frame: bytes) -> None:
+        # A killed worker leaves a dead writer behind until its restart
+        # re-registers; writing into it must not take the run down.
+        try:
             writer.write(frame)
+        except (ConnectionError, OSError, RuntimeError):
+            pass
 
 
 def _spawn_worker(document: dict) -> subprocess.Popen:
@@ -215,30 +282,50 @@ def _spawn_worker(document: dict) -> subprocess.Popen:
     )
 
 
-def _worker_failure(workers: list[subprocess.Popen]) -> str | None:
-    """A description of the first dead worker, if any."""
+def _worker_failure(
+    workers: list[subprocess.Popen],
+    expected_dead: frozenset[int] | set[int] = frozenset(),
+) -> str | None:
+    """A description of the first *unexpectedly* dead worker, if any.
+
+    Workers in *expected_dead* were killed on purpose by the fault
+    injector (``nemesis --live`` SIGKILLs them, so they show up with a
+    negative signal status) and are not failures: their restart is
+    already scheduled. Every other nonzero exit — including a scheduled
+    victim dying with the wrong status, e.g. a crash *before* its
+    SIGKILL landed — aborts the run immediately instead of hanging
+    until a timeout.
+    """
     for pid, worker in enumerate(workers):
         code = worker.poll()
-        if code is not None and code != 0:
-            stderr = b""
-            if worker.stderr is not None:
-                stderr = worker.stderr.read() or b""
-            detail = stderr.decode("utf-8", "replace").strip()
-            tail = detail.splitlines()[-8:]
-            return (
-                f"worker {pid} exited with status {code}"
-                + (":\n" + "\n".join(tail) if tail else "")
-            )
+        if code is None or code == 0:
+            continue
+        if pid in expected_dead and code == -signal.SIGKILL:
+            continue  # fault-injected kill, restart pending
+        stderr = b""
+        if worker.stderr is not None:
+            stderr = worker.stderr.read() or b""
+        detail = stderr.decode("utf-8", "replace").strip()
+        tail = detail.splitlines()[-8:]
+        label = "scheduled-kill worker" if pid in expected_dead else "worker"
+        return (
+            f"{label} {pid} exited unexpectedly with status {code}"
+            + (":\n" + "\n".join(tail) if tail else "")
+        )
     return None
 
 
 async def _wait_event(
-    event: asyncio.Event, timeout: float, workers: list[subprocess.Popen], what: str
+    event: asyncio.Event,
+    timeout: float,
+    workers: list[subprocess.Popen],
+    what: str,
+    expected_dead: frozenset[int] | set[int] = frozenset(),
 ) -> None:
     """Wait for *event*, failing fast if a worker process dies."""
     deadline = time.monotonic() + timeout
     while not event.is_set():
-        failure = _worker_failure(workers)
+        failure = _worker_failure(workers, expected_dead)
         if failure is not None:
             raise DeploymentError(f"while waiting for {what}: {failure}")
         remaining = deadline - time.monotonic()
@@ -248,6 +335,29 @@ async def _wait_event(
             await asyncio.wait_for(event.wait(), min(0.2, remaining))
         except asyncio.TimeoutError:
             continue
+
+
+async def _monitored_sleep(
+    duration: float,
+    workers: list[subprocess.Popen],
+    expected_dead: frozenset[int] | set[int] = frozenset(),
+    poll: float = 0.1,
+) -> None:
+    """Sleep through the measurement window, watching the workers.
+
+    A worker dying mid-window used to surface only after the final
+    report timed out; this polls the processes so an unexpected death
+    aborts the run within *poll* seconds, with the worker's stderr.
+    """
+    deadline = time.monotonic() + duration
+    while True:
+        failure = _worker_failure(workers, expected_dead)
+        if failure is not None:
+            raise DeploymentError(f"during the measurement window: {failure}")
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return
+        await asyncio.sleep(min(poll, remaining))
 
 
 def _reduce(
@@ -286,7 +396,12 @@ def _reduce(
         collector.on_adeliver(pid, AppMessage(msg_id, size=0, abcast_time=0.0), when)
 
     blocked = sum(int(d.get("blocked_attempts", 0)) for d in control.done.values())
-    metrics = collector.finalize(blocked_attempts=blocked)
+    stalls = sum(
+        int(d.get("backpressure_stalls", 0)) for d in control.done.values()
+    )
+    metrics = collector.finalize(
+        blocked_attempts=blocked, backpressure_stalls=stalls
+    )
 
     network: dict[str, int] = {}
     for document in control.done.values():
@@ -327,7 +442,7 @@ async def _run_live_async(
 
         await _wait_event(control.all_ready, READY_TIMEOUT, workers, "workers ready")
         control.broadcast({"type": "start", "epoch": time.monotonic()})
-        await asyncio.sleep(spec.warmup + spec.duration + spec.drain)
+        await _monitored_sleep(spec.warmup + spec.duration + spec.drain, workers)
         control.broadcast({"type": "stop"})
         await _wait_event(
             control.all_done, READY_TIMEOUT, workers, "final worker reports"

@@ -1,0 +1,515 @@
+"""Compile nemesis faultloads onto the live deployment (`nemesis --live`).
+
+The nemesis subsystem (PR 2) injects faults into the *simulator*; this
+module is the second compilation target of the same declarative
+:class:`~repro.config.FaultloadConfig`, so one faultload JSON replays in
+both modes:
+
+=====================  =========================================  ====================================
+fault event            simulator compilation                      live compilation
+=====================  =========================================  ====================================
+``CrashEvent``         halt the process model (fail-stop)         timed ``SIGKILL`` + scheduled
+                                                                  restart with WAL crash recovery
+``PartitionEvent``     hold/drop queued messages in the network   transport-level HOLD/DROP link
+                       model                                      directives over the control channel
+``DelaySpike``         add latency in the network model           per-frame sleep in the transport
+                                                                  sender loops
+``LossBurst``          probabilistic per-message loss             *unsupported live* (rejected)
+``WrongSuspicion``     scripted FD override                       *unsupported live* (rejected)
+=====================  =========================================  ====================================
+
+One semantic divergence is deliberate: the simulator's crash is
+permanent (fail-stop, the paper's model), while the live compilation
+restarts the victim after ``restart_delay`` — that is the whole point
+of exercising the WAL/rejoin machinery. Safety invariants must hold in
+both readings; the live liveness check therefore also demands post-heal
+progress from the *recovered* process.
+
+After the run, :func:`check_merged_logs` merges the per-worker
+write-ahead delivery logs and replays them through the unchanged
+:class:`~repro.nemesis.invariants.InvariantMonitor` — the same checker
+the simulator uses — plus an offline liveness watchdog (every worker
+must have delivered past the last disruption).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.config import FaultloadConfig, LinkFaultMode
+from repro.errors import DeploymentError
+from repro.live.deploy import (
+    READY_TIMEOUT,
+    LiveSpec,
+    _ControlServer,
+    _monitored_sleep,
+    _reduce,
+    _spawn_worker,
+    _wait_event,
+    reserve_ports,
+    worker_spec,
+)
+from repro.live.wal import read_wal
+from repro.nemesis.invariants import InvariantMonitor, Violation
+from repro.types import AppMessage, MessageId
+
+#: Seconds between a scheduled SIGKILL and the victim's restart.
+DEFAULT_RESTART_DELAY = 0.4
+
+#: Post-disruption seconds each worker gets to show delivery progress
+#: before the offline liveness check flags a stall. Wider than the sim
+#: default: a live rejoin pays real fork/exec + TCP + state transfer.
+DEFAULT_LIVE_LIVENESS_BOUND = 2.0
+
+#: Quiet margin the run keeps between the last fault action and the end
+#: of the arrival window, so post-heal progress is observable at all.
+_QUIET_MARGIN = 0.6
+
+#: Once the last restarted worker confirms recovery, the group keeps
+#: running this long so post-recovery consensus rounds (the recovered
+#: worker's re-injected messages, in-flight instances) land in every
+#: delivery log before the window closes.
+_RECOVERY_SETTLE = 0.6
+
+#: How long a restarted worker gets to confirm recovery (fork/exec,
+#: interpreter start-up, state transfer retries) before the run fails.
+RECOVERY_TIMEOUT = 15.0
+
+
+@dataclass(frozen=True, slots=True)
+class LiveFaultAction:
+    """One timed action of the compiled live fault schedule."""
+
+    #: Seconds after the epoch at which the action fires.
+    at: float
+    #: ``kill`` | ``restart`` | ``fault`` (link directives).
+    kind: str
+    #: Victim pid for kill/restart actions.
+    pid: int | None = None
+    #: ``(target pid, control document)`` pairs for ``fault`` actions.
+    directives: tuple[tuple[int, dict], ...] = ()
+    #: Human-readable form for the report timeline.
+    describe: str = ""
+
+
+def compile_live_faultload(
+    faultload: FaultloadConfig,
+    n: int,
+    *,
+    restart_delay: float = DEFAULT_RESTART_DELAY,
+) -> list[LiveFaultAction]:
+    """Compile *faultload* into a time-sorted live action schedule.
+
+    Raises:
+        DeploymentError: For faultload features without a live
+            compilation (loss bursts, wrong suspicions) or crash times
+            that would make kill and restart overlap per victim.
+    """
+    unsupported = []
+    if faultload.loss_bursts:
+        unsupported.append("loss_bursts")
+    if faultload.wrong_suspicions:
+        unsupported.append("wrong_suspicions")
+    if unsupported:
+        raise DeploymentError(
+            f"faultload features unsupported in live mode: {', '.join(unsupported)} "
+            "(live supports crashes, partitions and delay spikes)"
+        )
+    actions: list[LiveFaultAction] = []
+    seen_victims: set[int] = set()
+    for crash in faultload.crashes:
+        if not 0 <= crash.process < n:
+            raise DeploymentError(
+                f"crash victim p{crash.process} outside the group 0..{n - 1}"
+            )
+        if crash.process in seen_victims:
+            raise DeploymentError(
+                f"process {crash.process} is crashed twice; the live runner "
+                "restarts each victim once"
+            )
+        seen_victims.add(crash.process)
+        actions.append(
+            LiveFaultAction(
+                at=crash.time,
+                kind="kill",
+                pid=crash.process,
+                describe=f"SIGKILL worker {crash.process}",
+            )
+        )
+        actions.append(
+            LiveFaultAction(
+                at=crash.time + restart_delay,
+                kind="restart",
+                pid=crash.process,
+                describe=f"restart worker {crash.process} (recover from WAL)",
+            )
+        )
+    for partition in faultload.partitions:
+        op_on = "hold" if partition.mode is LinkFaultMode.HOLD else "drop"
+        op_off = "release" if partition.mode is LinkFaultMode.HOLD else "undrop"
+        cut: dict[int, list[int]] = {}
+        for src in range(n):
+            peers = [
+                dst for dst in range(n) if dst != src and partition.severs(src, dst)
+            ]
+            if peers:
+                cut[src] = peers
+        groups = "|".join(",".join(map(str, g)) for g in partition.groups)
+        actions.append(
+            LiveFaultAction(
+                at=partition.start,
+                kind="fault",
+                directives=tuple(
+                    (pid, {"type": "fault", "op": op_on, "peers": peers})
+                    for pid, peers in cut.items()
+                ),
+                describe=f"partition [{groups}] up ({op_on})",
+            )
+        )
+        actions.append(
+            LiveFaultAction(
+                at=partition.heal,
+                kind="fault",
+                directives=tuple(
+                    (pid, {"type": "fault", "op": op_off, "peers": peers})
+                    for pid, peers in cut.items()
+                ),
+                describe=f"partition [{groups}] healed",
+            )
+        )
+    for spike in faultload.delay_spikes:
+        slowed: dict[int, list[int]] = {}
+        for src in range(n):
+            peers = [
+                dst for dst in range(n) if dst != src and spike.matches(src, dst)
+            ]
+            if peers:
+                slowed[src] = peers
+        actions.append(
+            LiveFaultAction(
+                at=spike.start,
+                kind="fault",
+                directives=tuple(
+                    (
+                        pid,
+                        {
+                            "type": "fault",
+                            "op": "delay",
+                            "peers": peers,
+                            "extra": spike.extra_delay,
+                            "jitter": spike.jitter,
+                        },
+                    )
+                    for pid, peers in slowed.items()
+                ),
+                describe=f"delay spike +{spike.extra_delay * 1e3:.1f}ms up",
+            )
+        )
+        actions.append(
+            LiveFaultAction(
+                at=spike.end,
+                kind="fault",
+                directives=tuple(
+                    (pid, {"type": "fault", "op": "clear_delay", "peers": peers})
+                    for pid, peers in slowed.items()
+                ),
+                describe="delay spike over",
+            )
+        )
+    return sorted(actions, key=lambda action: action.at)
+
+
+@dataclass
+class LiveNemesisReport:
+    """Outcome of one ``nemesis --live`` run."""
+
+    #: Whether the merged delivery logs passed every invariant.
+    passed: bool
+    violations: tuple[Violation, ...]
+    #: Deliveries that went through the merged-log safety checks.
+    deliveries: int
+    #: Distinct messages accepted across all workers (from the WALs).
+    accepted: int
+    kills: int
+    restarts: int
+    #: Workers whose final report confirms a WAL recovery.
+    recovered: tuple[int, ...]
+    #: Torn-tail bytes truncated across all recovered WALs.
+    wal_truncated_bytes: int
+    backpressure_stalls: int
+    #: The fault schedule as executed, human-readable.
+    timeline: tuple[str, ...] = ()
+    #: The reduced live measurement (shared sim/live result schema).
+    result: dict = field(default_factory=dict)
+
+
+def check_merged_logs(
+    n: int,
+    wal_dir: str | Path,
+    *,
+    quiet_time: float = 0.0,
+    liveness_bound: float = DEFAULT_LIVE_LIVENESS_BOUND,
+    check_liveness: bool = True,
+    expect_all_delivered: bool = True,
+) -> tuple[InvariantMonitor, int]:
+    """Replay merged per-worker WALs through the invariant monitor.
+
+    Accept records (write-ahead, fsynced before the message could reach
+    any peer) form the abcast universe; deliver records, replayed in
+    global timestamp order (stable, so each worker's own order is
+    preserved), face the same four online safety checks as a simulated
+    run. The offline liveness watchdog then demands that every worker's
+    log shows a delivery after ``quiet_time + liveness_bound`` worth of
+    post-disruption calm — a recovered worker that never caught up, or
+    a group that stalled after a heal, fails here.
+
+    Returns the monitor (finalized) and the number of accepted ids.
+    """
+    wal_dir = Path(wal_dir)
+    accepts: list[tuple[float, MessageId]] = []
+    delivers: list[tuple[float, int, MessageId]] = []
+    last_delivery = [0.0] * n
+    for pid in range(n):
+        records, __ = read_wal(wal_dir / f"worker-{pid}.wal")
+        for record in records:
+            kind = record.get("t")
+            if kind == "accept":
+                accepts.append(
+                    (
+                        float(record.get("at", 0.0)),
+                        MessageId(int(record["s"]), int(record["q"])),
+                    )
+                )
+            elif kind == "deliver":
+                when = float(record.get("at", 0.0))
+                delivers.append(
+                    (when, pid, MessageId(int(record["s"]), int(record["q"])))
+                )
+                last_delivery[pid] = max(last_delivery[pid], when)
+    monitor = InvariantMonitor(n)
+    for at, msg_id in sorted(accepts, key=lambda entry: entry[0]):
+        monitor.on_abcast(AppMessage(msg_id=msg_id, size=0, abcast_time=at))
+    for when, pid, msg_id in sorted(delivers, key=lambda entry: entry[0]):
+        monitor.on_adeliver(
+            pid, AppMessage(msg_id=msg_id, size=0, abcast_time=0.0), when
+        )
+    end = max(
+        [at for at, __ in accepts] + [when for when, __, __ in delivers],
+        default=0.0,
+    )
+    monitor.finalize(
+        expect_all_delivered=expect_all_delivered, now=end, crashed=set()
+    )
+    if check_liveness and delivers:
+        for pid in range(n):
+            if last_delivery[pid] < quiet_time:
+                monitor.violations.append(
+                    Violation(
+                        invariant="liveness",
+                        time=end,
+                        description=(
+                            f"p{pid} shows no delivery after the last "
+                            f"disruption quieted at t={quiet_time:.2f} "
+                            f"(last delivery t={last_delivery[pid]:.2f}; "
+                            f"bound {liveness_bound:.2f}s)"
+                        ),
+                    )
+                )
+    return monitor, len({msg_id for __, msg_id in accepts})
+
+
+async def _run_nemesis_live_async(
+    spec: LiveSpec,
+    faultload: FaultloadConfig,
+    actions: list[LiveFaultAction],
+    restart_delay: float,
+    liveness_bound: float,
+) -> LiveNemesisReport:
+    assert spec.wal_dir is not None
+    ports = reserve_ports(spec.host, spec.n)
+    addresses = {pid: (spec.host, ports[pid]) for pid in range(spec.n)}
+
+    control = _ControlServer(spec.n)
+    server = await asyncio.start_server(control.handle, spec.host, 0)
+    control_port = server.sockets[0].getsockname()[1]
+
+    workers = []
+    expected_dead: set[int] = set()
+    timeline: list[str] = []
+    restarted: list[int] = []
+    kills = 0
+    restarts = 0
+    try:
+        for pid in range(spec.n):
+            workers.append(
+                _spawn_worker(worker_spec(spec, pid, addresses, control_port))
+            )
+        await _wait_event(control.all_ready, READY_TIMEOUT, workers, "workers ready")
+        epoch = time.monotonic()
+        control.broadcast({"type": "start", "epoch": epoch})
+
+        for action in actions:
+            await _monitored_sleep(
+                epoch + action.at - time.monotonic(), workers, expected_dead
+            )
+            timeline.append(f"t={action.at:.2f} {action.describe}")
+            if action.kind == "kill":
+                assert action.pid is not None
+                victim = workers[action.pid]
+                if victim.poll() is None:
+                    victim.send_signal(signal.SIGKILL)
+                    victim.wait()
+                expected_dead.add(action.pid)
+                kills += 1
+            elif action.kind == "restart":
+                assert action.pid is not None
+                old = workers[action.pid]
+                if old.stderr is not None:
+                    old.stderr.close()
+                workers[action.pid] = _spawn_worker(
+                    worker_spec(
+                        spec, action.pid, addresses, control_port, recover=True
+                    )
+                )
+                expected_dead.discard(action.pid)
+                restarted.append(action.pid)
+                restarts += 1
+            else:
+                for pid, document in action.directives:
+                    control.send_to(pid, document)
+
+        # The scheduled restart instant only marks the fork; the new
+        # process pays interpreter start-up and state-transfer retries
+        # before it is caught up. Hold the window open until every
+        # restarted worker confirms recovery, plus a settle margin so
+        # the post-recovery consensus rounds reach every delivery log.
+        # Under a liveness-unsafe faultload (e.g. an unhealed
+        # partition) recovery may rightly never complete — skip.
+        if restarted and faultload.liveness_safe:
+            for pid in restarted:
+                await _wait_event(
+                    control.recovery_event(pid),
+                    RECOVERY_TIMEOUT,
+                    workers,
+                    f"worker {pid} WAL recovery",
+                    expected_dead,
+                )
+            timeline.append(
+                f"t={time.monotonic() - epoch:.2f} all restarted workers recovered"
+            )
+            await _monitored_sleep(_RECOVERY_SETTLE, workers, expected_dead)
+        total = spec.warmup + spec.duration + spec.drain
+        await _monitored_sleep(
+            epoch + total - time.monotonic(), workers, expected_dead
+        )
+        control.broadcast({"type": "stop"})
+        await _wait_event(
+            control.all_done,
+            READY_TIMEOUT,
+            workers,
+            "final worker reports",
+            expected_dead,
+        )
+    finally:
+        server.close()
+        await server.wait_closed()
+        for worker in workers:
+            if worker.poll() is None:
+                worker.terminate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=5.0)
+            except Exception:
+                worker.kill()
+                worker.wait()
+            if worker.stderr is not None:
+                worker.stderr.close()
+
+    result = _reduce(spec, control)
+    quiet_time = max([action.at for action in actions], default=0.0)
+    monitor, accepted = check_merged_logs(
+        spec.n,
+        spec.wal_dir,
+        quiet_time=quiet_time,
+        liveness_bound=liveness_bound,
+        check_liveness=faultload.liveness_safe,
+        expect_all_delivered=faultload.liveness_safe,
+    )
+    recovered = tuple(
+        sorted(
+            pid
+            for pid, document in control.done.items()
+            if document.get("recovered")
+        )
+    )
+    truncated = sum(
+        int(document.get("wal_truncated_bytes", 0))
+        for document in control.done.values()
+    )
+    stalls = sum(
+        int(document.get("backpressure_stalls", 0))
+        for document in control.done.values()
+    )
+    return LiveNemesisReport(
+        passed=monitor.passed,
+        violations=tuple(monitor.violations),
+        deliveries=monitor.delivery_count,
+        accepted=accepted,
+        kills=kills,
+        restarts=restarts,
+        recovered=recovered,
+        wal_truncated_bytes=truncated,
+        backpressure_stalls=stalls,
+        timeline=tuple(timeline),
+        result=result,
+    )
+
+
+def run_nemesis_live(
+    spec: LiveSpec,
+    faultload: FaultloadConfig,
+    *,
+    restart_delay: float = DEFAULT_RESTART_DELAY,
+    liveness_bound: float = DEFAULT_LIVE_LIVENESS_BOUND,
+) -> LiveNemesisReport:
+    """Run *faultload* against a real deployment and check the logs.
+
+    The measurement window is stretched, if needed, so the last fault
+    action (kill, restart, heal) lands at least :data:`_QUIET_MARGIN`
+    seconds before arrivals stop — otherwise post-heal progress would
+    be unobservable and the liveness check meaningless. WALs go to
+    ``spec.wal_dir``, or a temporary directory when unset.
+
+    Raises:
+        DeploymentError: Unsupported faultload features, a worker dying
+            outside the schedule, or deployment-level failures.
+    """
+    spec.validate()
+    actions = compile_live_faultload(
+        faultload, spec.n, restart_delay=restart_delay
+    )
+    last_action = max([action.at for action in actions], default=0.0)
+    needed = last_action + _QUIET_MARGIN - spec.warmup
+    if spec.duration < needed:
+        spec = dataclasses.replace(spec, duration=needed)
+    if spec.wal_dir is not None:
+        os.makedirs(spec.wal_dir, exist_ok=True)
+        return asyncio.run(
+            _run_nemesis_live_async(
+                spec, faultload, actions, restart_delay, liveness_bound
+            )
+        )
+    with tempfile.TemporaryDirectory(prefix="repro-wal-") as wal_dir:
+        spec = dataclasses.replace(spec, wal_dir=wal_dir)
+        return asyncio.run(
+            _run_nemesis_live_async(
+                spec, faultload, actions, restart_delay, liveness_bound
+            )
+        )

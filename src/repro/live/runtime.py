@@ -146,6 +146,24 @@ class LiveRuntime:
         for module in self._modules:
             self._execute_actions(module, module.on_start())
 
+    def resume_at(self, next_instance: int, delivered: set) -> None:
+        """Fast-forward the stack to a crash-recovered position.
+
+        Part of the rejoin protocol (see PROTOCOLS.md): after a
+        restarted worker re-applied its WAL prefix and state-transferred
+        the remainder, the top module must skip the *delivered* message
+        ids and participate from consensus instance *next_instance* on.
+        Raises for stacks without recovery support (the sequencer is
+        good-run-only by design).
+        """
+        top = self._modules[0]
+        resume = getattr(top, "resume_at", None)
+        if resume is None:
+            raise ProtocolError(
+                f"stack module {top.name!r} does not support crash recovery"
+            )
+        resume(next_instance, delivered)
+
     # ------------------------------------------------------------------
     # Application entry points
     # ------------------------------------------------------------------

@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import random
 import struct
 from collections import deque
 from typing import Callable
@@ -55,6 +57,37 @@ _COUNT = struct.Struct(">Q")
 
 #: Callback invoked with every decoded protocol message.
 MessageHandler = Callable[[NetMessage], None]
+
+#: ``REPRO_LIVE_TRACE=1`` narrates connection/handshake events on
+#: stderr (same switch as the worker's recovery trace).
+_TRACE = bool(os.environ.get("REPRO_LIVE_TRACE"))
+
+
+def _trace(pid: int, text: str) -> None:
+    if _TRACE:
+        import sys
+        import time
+
+        print(
+            f"[transport {pid} t={time.monotonic():.3f}] {text}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+
+def next_backoff(
+    rng: random.Random, initial: float, previous: float, cap: float
+) -> float:
+    """Decorrelated-jitter reconnect backoff.
+
+    Draws the next delay uniformly from ``[initial, 3 * previous]``,
+    capped at *cap* — the "decorrelated jitter" strategy. Unlike plain
+    doubling, two peers cut off by the same partition draw different
+    delays and do not redial in lockstep when it heals (a reconnection
+    storm every ``initial * 2^k`` seconds); unlike full jitter, the
+    expected delay still grows geometrically while the outage lasts.
+    """
+    return min(cap, rng.uniform(initial, max(initial, previous * 3.0)))
 
 
 def encode_frame(body: bytes) -> bytes:
@@ -99,17 +132,28 @@ class FrameDecoder:
         return len(self._buffer)
 
 
-def hello_frame(pid: int) -> bytes:
-    """The identification frame opening every outgoing connection."""
-    return json.dumps({"v": WIRE_FORMAT_VERSION, "hello": pid}).encode("utf-8")
+def hello_frame(pid: int, nonce: int = 0) -> bytes:
+    """The identification frame opening every outgoing connection.
+
+    *nonce* identifies the sending endpoint's *incarnation*: it is drawn
+    once per Transport construction, so every connection from one
+    process lifetime carries the same nonce, and a restarted process
+    (crash recovery) presents a new one. The receiver uses a nonce
+    change to reset its delivered-frame count — the new incarnation's
+    outbound stream starts over at frame zero, and resuming it at the
+    predecessor's count would silently swallow its first messages.
+    """
+    return json.dumps(
+        {"v": WIRE_FORMAT_VERSION, "hello": pid, "nonce": nonce}
+    ).encode("utf-8")
 
 
-def parse_hello(frame: bytes) -> int:
-    """Validate a HELLO frame; returns the dialing peer's pid."""
+def parse_hello(frame: bytes) -> tuple[int, int]:
+    """Validate a HELLO frame; returns (dialing pid, incarnation nonce)."""
     try:
         document = json.loads(frame.decode("utf-8"))
         check_version(document.get("v"))
-        return int(document["hello"])
+        return int(document["hello"]), int(document.get("nonce", 0))
     except (UnicodeDecodeError, json.JSONDecodeError, KeyError, ValueError) as exc:
         raise NetworkError(f"malformed transport HELLO: {exc}") from exc
 
@@ -123,6 +167,7 @@ class TransportStats:
         self.payload_bytes_sent = 0
         self.messages_received = 0
         self.reconnects = 0
+        self.messages_dropped = 0
 
     def snapshot(self) -> dict:
         """A plain-dict copy for control-channel reporting."""
@@ -132,6 +177,7 @@ class TransportStats:
             "payload_bytes_sent": self.payload_bytes_sent,
             "messages_received": self.messages_received,
             "reconnects": self.reconnects,
+            "messages_dropped": self.messages_dropped,
         }
 
 
@@ -145,6 +191,19 @@ class Transport:
         on_message: Called in the event loop with every decoded message.
         initial_backoff: First reconnect delay in seconds.
         max_backoff: Backoff cap in seconds.
+        resume_points: ``peer -> (incarnation nonce, delivered count)``
+            restored from a previous incarnation's WAL snapshot (crash
+            recovery): a restarted endpoint answers reconnecting peers
+            with these counts, so frames its predecessor already
+            delivered are not replayed into the recovered stack. The
+            stored nonce keeps the count scoped to the peer incarnation
+            it was observed against.
+        max_unacked: Per-peer cap on frames queued but not yet acked;
+            :attr:`congested` turns true while any queue is at or above
+            it. The transport itself never blocks or drops — the cap is
+            a *credit signal* the arrival scheduler consults before
+            offering more load (see PROTOCOLS.md, "Backpressure").
+        rng: Randomness for the reconnect jitter (injectable for tests).
     """
 
     def __init__(
@@ -155,15 +214,25 @@ class Transport:
         *,
         initial_backoff: float = 0.05,
         max_backoff: float = 1.0,
+        resume_points: dict[int, tuple[int, int]] | None = None,
+        max_unacked: int | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         if pid not in addresses:
             raise NetworkError(f"addresses lack an entry for this process ({pid})")
         self.pid = pid
         self.stats = TransportStats()
+        self.max_unacked = max_unacked
         self._addresses = dict(addresses)
         self._on_message = on_message
         self._initial_backoff = initial_backoff
         self._max_backoff = max_backoff
+        self._rng = rng if rng is not None else random.Random()
+        #: This endpoint's incarnation identity, presented in every
+        #: HELLO. Drawn from the OS, not self._rng: a restarted worker
+        #: reseeds the same (seed, pid) rng and MUST still get a nonce
+        #: its predecessor never used.
+        self.nonce = int.from_bytes(os.urandom(8), "big")
         self._queues: dict[int, deque[bytes]] = {
             peer: deque() for peer in addresses if peer != pid
         }
@@ -171,13 +240,26 @@ class Transport:
         #: to this peer have been acked (and dequeued) so far.
         self._send_base: dict[int, int] = {peer: 0 for peer in self._queues}
         #: How many frames from each peer were delivered to ``on_message``;
-        #: persists across that peer's reconnects (the resume point).
+        #: persists across that peer's reconnects (the resume point),
+        #: scoped to the peer incarnation in ``_peer_nonce``.
         self._delivered: dict[int, int] = {}
+        self._peer_nonce: dict[int, int] = {}
+        for peer, (nonce, count) in (resume_points or {}).items():
+            self._peer_nonce[peer] = nonce
+            self._delivered[peer] = count
         self._queue_events: dict[int, asyncio.Event] = {}
         self._server: asyncio.base_events.Server | None = None
         self._sender_tasks: list[asyncio.Task] = []
         self._inbound_writers: set[asyncio.StreamWriter] = set()
         self._closed = False
+        #: Peers whose outbound frames are held back (fault injection:
+        #: HOLD-mode partition — frames queue up and flow on release).
+        self._held: set[int] = set()
+        #: Peers whose outbound frames are discarded (DROP-mode).
+        self._dropped: set[int] = set()
+        #: Per-peer (extra_delay, jitter) slept before each frame write
+        #: (fault injection: delay spikes).
+        self._extra_delay: dict[int, tuple[float, float]] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -229,6 +311,9 @@ class Transport:
         queue = self._queues.get(message.dst)
         if queue is None:
             raise NetworkError(f"message to unknown process: {message}")
+        if message.dst in self._dropped:
+            self.stats.messages_dropped += 1
+            return
         frame = encode_frame(encode_message(message))
         queue.append(frame)
         self.stats.messages_sent += 1
@@ -241,6 +326,69 @@ class Transport:
     def pending_to(self, peer: int) -> int:
         """Frames queued for *peer* but not yet accepted by the kernel."""
         return len(self._queues[peer])
+
+    def unacked_to(self, peer: int) -> int:
+        """Frames to *peer* not yet acked by its receiver (== queued)."""
+        return len(self._queues[peer])
+
+    @property
+    def congested(self) -> bool:
+        """Whether any peer's unacked queue is at the configured cap.
+
+        The transport's credit signal: while true, the worker's arrival
+        scheduler stops offering load (counting ``backpressure_stalls``)
+        instead of growing an unbounded frame queue toward a slow or
+        partitioned peer.
+        """
+        if self.max_unacked is None:
+            return False
+        return any(len(queue) >= self.max_unacked for queue in self._queues.values())
+
+    def delivered_counts(self) -> dict[int, tuple[int, int]]:
+        """``peer -> (nonce, delivered count)`` — the WAL resume snapshot."""
+        return {
+            peer: (self._peer_nonce.get(peer, 0), count)
+            for peer, count in self._delivered.items()
+        }
+
+    # -- fault injection hooks (driven by `repro nemesis --live`) ----------
+
+    def hold_links(self, peers: set[int] | frozenset[int]) -> None:
+        """Stop transmitting to *peers*; frames queue until release.
+
+        The live form of a HOLD-mode partition: channels stay
+        quasi-reliable (nothing is lost, everything is late), matching
+        the simulator's semantics so the same faultload is comparable.
+        """
+        self._held.update(peers)
+
+    def release_links(self, peers: set[int] | frozenset[int]) -> None:
+        """Heal a HOLD: resume transmitting queued frames to *peers*."""
+        self._held.difference_update(peers)
+        for peer in peers:
+            event = self._queue_events.get(peer)
+            if event is not None:
+                event.set()
+
+    def drop_links(self, peers: set[int] | frozenset[int]) -> None:
+        """Silently discard every new frame to *peers* (DROP mode)."""
+        self._dropped.update(peers)
+
+    def undrop_links(self, peers: set[int] | frozenset[int]) -> None:
+        """Stop discarding frames to *peers*."""
+        self._dropped.difference_update(peers)
+
+    def set_link_delay(
+        self, peers: set[int] | frozenset[int], extra: float, jitter: float = 0.0
+    ) -> None:
+        """Sleep ``extra + U(0, jitter)`` before each frame to *peers*."""
+        for peer in peers:
+            self._extra_delay[peer] = (extra, jitter)
+
+    def clear_link_delay(self, peers: set[int] | frozenset[int]) -> None:
+        """Remove the extra per-frame delay towards *peers*."""
+        for peer in peers:
+            self._extra_delay.pop(peer, None)
 
     async def drain(self, timeout: float = 5.0, poll: float = 0.01) -> bool:
         """Wait until every send queue is empty (best effort)."""
@@ -275,12 +423,14 @@ class Transport:
                 reader, writer = await asyncio.open_connection(host, port)
             except OSError:
                 await asyncio.sleep(backoff)
-                backoff = min(backoff * 2, self._max_backoff)
+                backoff = next_backoff(
+                    self._rng, self._initial_backoff, backoff, self._max_backoff
+                )
                 continue
             backoff = self._initial_backoff
             ack_task: asyncio.Task | None = None
             try:
-                writer.write(encode_frame(hello_frame(self.pid)))
+                writer.write(encode_frame(hello_frame(self.pid, self.nonce)))
                 await writer.drain()
                 # The receiver opens with its resume point: how many of
                 # our frames it has delivered. Anything below it was
@@ -288,6 +438,11 @@ class Transport:
                 # connection; transmission restarts exactly there, so
                 # the stream is exactly-once and in-order end to end.
                 (resume,) = _COUNT.unpack(await reader.readexactly(_COUNT.size))
+                _trace(
+                    self.pid,
+                    f"connected to p{peer}: resume={resume} "
+                    f"base={self._send_base[peer]} queued={len(queue)}",
+                )
                 self._apply_ack(peer, resume)
                 # A resume point below our base means the peer endpoint
                 # is fresh (fail-stop processes do not restart; a new
@@ -300,7 +455,7 @@ class Transport:
                     if ack_task.done():
                         raise ConnectionResetError("peer closed the connection")
                     offset = next_to_send - self._send_base[peer]
-                    if offset >= len(queue):
+                    if peer in self._held or offset >= len(queue):
                         event.clear()
                         waiter = asyncio.create_task(event.wait())
                         try:
@@ -311,13 +466,28 @@ class Transport:
                         finally:
                             waiter.cancel()
                         continue
+                    pause = self._extra_delay.get(peer)
+                    if pause is not None:
+                        extra, jitter = pause
+                        await asyncio.sleep(extra + self._rng.uniform(0.0, jitter))
+                        # Acks land during the sleep and advance the
+                        # base; the offset computed before it would now
+                        # index past the next frame — transmitting
+                        # queue[stale offset] silently skips frames,
+                        # and a skipped frame is lost forever (the
+                        # stream has no other retransmission path).
+                        offset = next_to_send - self._send_base[peer]
+                        if offset >= len(queue):
+                            continue
                     writer.write(queue[offset])
                     next_to_send += 1
                     await writer.drain()
             except (ConnectionError, OSError, asyncio.IncompleteReadError):
                 self.stats.reconnects += 1
                 await asyncio.sleep(backoff)
-                backoff = min(backoff * 2, self._max_backoff)
+                backoff = next_backoff(
+                    self._rng, self._initial_backoff, backoff, self._max_backoff
+                )
             finally:
                 if ack_task is not None:
                     ack_task.cancel()
@@ -339,9 +509,23 @@ class Transport:
                 progressed = False
                 for frame in decoder.feed(data):
                     if peer is None:
-                        peer = parse_hello(frame)
-                        # Resume point: how many of this peer's frames
-                        # were already delivered (over any connection).
+                        peer, nonce = parse_hello(frame)
+                        _trace(
+                            self.pid,
+                            f"inbound hello from p{peer}: nonce "
+                            f"{'match' if self._peer_nonce.get(peer) == nonce else 'NEW'}"
+                            f", resume={self._delivered.get(peer, 0) if self._peer_nonce.get(peer) == nonce else 0}",
+                        )
+                        if self._peer_nonce.get(peer) != nonce:
+                            # New peer incarnation (first contact, or a
+                            # crash-recovered restart): its stream
+                            # starts over at frame zero. The recovered
+                            # stack layer dedups re-sent messages.
+                            self._peer_nonce[peer] = nonce
+                            self._delivered[peer] = 0
+                        # Resume point: how many of this incarnation's
+                        # frames were already delivered (over any
+                        # connection).
                         writer.write(_COUNT.pack(self._delivered.get(peer, 0)))
                         continue
                     self._delivered[peer] = self._delivered.get(peer, 0) + 1

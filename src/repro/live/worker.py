@@ -12,6 +12,8 @@ Control protocol (worker perspective)::
 
     -> {"type": "ready", "pid": ...}            after the listener is up
     <- {"type": "start", "epoch": ...}          shared time origin
+    <- {"type": "fault", "op": ..., ...}        link fault directives
+                                                (nemesis --live only)
     -> {"type": "samples", "accepts": [...], "delivers": [...],
         "offered": k}                           every ~250 ms
     <- {"type": "stop"}                         measurement over
@@ -20,6 +22,16 @@ Control protocol (worker perspective)::
 The spec (group membership, stack, workload, windows) arrives as one
 JSON document in ``argv[1]`` — see :func:`worker_spec` in
 :mod:`repro.live.deploy` for the schema and an example.
+
+Crash recovery (see PROTOCOLS.md, "Crash recovery in the live
+runtime"): with ``"wal"`` in the spec the worker write-ahead-logs
+accepted and delivered messages; with ``"recover"`` additionally set it
+is a restarted incarnation: it reloads the log, resumes the transport
+at the persisted resume points, state-transfers the deliveries it
+missed from a live peer (``SYNC_REQ``/``SYNC_RESP`` on the reserved
+``recovery`` module channel), fast-forwards the stack with
+:meth:`~repro.live.runtime.LiveRuntime.resume_at`, and re-injects its
+own accepted-but-undelivered messages before rejoining the workload.
 """
 
 from __future__ import annotations
@@ -38,7 +50,11 @@ from repro.fd.heartbeat import HeartbeatFailureDetector
 from repro.flowcontrol.window import BacklogWindow
 from repro.live.runtime import LiveRuntime
 from repro.live.transport import FrameDecoder, Transport, encode_frame
+from repro.live.wal import WalState, WalWriter, load_wal_state
+from repro.net.message import NetMessage
+from repro.stack.events import AbcastRequest
 from repro.stack.module import Microprotocol
+from repro.types import AppMessage, MessageId
 from repro.workload.generator import FlowControlledSender
 
 #: How often buffered samples are flushed to the orchestrator.
@@ -47,10 +63,29 @@ FLUSH_INTERVAL = 0.25
 #: Exit code of a worker whose runtime crashed (fail-stop semantics).
 CRASH_EXIT_CODE = 70
 
+#: Module name reserved for the rejoin state-transfer messages; they
+#: are handled by the worker itself, before stack routing.
+RECOVERY_MODULE = "recovery"
+
+#: How often an unanswered state-transfer request is re-sent (peers may
+#: be partitioned away or recovering themselves; retry until one helps).
+SYNC_RETRY_INTERVAL = 0.25
+
 
 def send_control(writer: asyncio.StreamWriter, document: dict) -> None:
     """Frame and enqueue one control message."""
     writer.write(encode_frame(json.dumps(document).encode("utf-8")))
+
+
+#: Set the environment variable ``REPRO_LIVE_TRACE=1`` to make every
+#: worker narrate recovery/fault events on stderr (the orchestrator
+#: surfaces a worker's stderr when it exits unexpectedly).
+_TRACE = bool(os.environ.get("REPRO_LIVE_TRACE"))
+
+
+def _trace(pid: int, text: str) -> None:
+    if _TRACE:
+        print(f"[worker {pid} t={time.monotonic():.3f}] {text}", file=sys.stderr, flush=True)
 
 
 class Worker:
@@ -67,25 +102,65 @@ class Worker:
         self.runtime: LiveRuntime | None = None
         self.transport: Transport | None = None
         self.sender: FlowControlledSender | None = None
+        self.wal: WalWriter | None = None
         self._accepts: list[list] = []
         self._delivers: list[list] = []
         self._offered_reported = 0
         self._cpu_at_warmup = 0.0
         self._instances_at_warmup = 0
         self._network_at_warmup: dict = {}
+        #: Full local adelivery sequence as (sender, seq) pairs — the
+        #: state served to recovering peers via SYNC_REQ.
+        self._delivered_log: list[tuple[int, int]] = []
+        self._delivered_ids: set[tuple[int, int]] = set()
+        self._backpressure_stalls = 0
+        self._unordered_cap: int | None = (
+            int(spec["unordered_cap"]) if spec.get("unordered_cap") else None
+        )
+        #: Recovery state: while gating, inbound protocol traffic is
+        #: buffered until catch-up completes.
+        self._wal_state = WalState()
+        self._wal_truncated = 0
+        self._recovering = bool(spec.get("recover")) and bool(spec.get("wal"))
+        self._gating = False
+        self._gated: list[NetMessage] = []
+        self._sync_retry: asyncio.TimerHandle | None = None
+        self._recovered = False
+        self._control_writer: asyncio.StreamWriter | None = None
 
     # -- assembly ----------------------------------------------------------
 
     def build(self) -> None:
         """Construct transport + runtime + workload source."""
         spec = self.spec
+        if spec.get("wal"):
+            if self._recovering:
+                self._wal_state, self._wal_truncated = load_wal_state(spec["wal"])
+                self._delivered_log = list(self._wal_state.delivered)
+                self._delivered_ids = set(self._delivered_log)
+            self.wal = WalWriter(spec["wal"])
+        self._gating = self._recovering
         transport_holder: list[Transport] = []
 
         def on_message(message: Any) -> None:
             assert self.runtime is not None
+            if message.module == RECOVERY_MODULE:
+                self._on_recovery_message(message)
+                return
+            if self._gating:
+                self._gated.append(message)
+                return
             self.runtime.on_network_message(message)
 
-        self.transport = Transport(self.pid, self.addresses, on_message)
+        self.transport = Transport(
+            self.pid,
+            self.addresses,
+            on_message,
+            resume_points=self._wal_state.resume_counts,
+            max_unacked=(
+                int(spec["max_unacked"]) if spec.get("max_unacked") else None
+            ),
+        )
         transport_holder.append(self.transport)
 
         def make_runtime(modules: list[Microprotocol]) -> LiveRuntime:
@@ -120,20 +195,231 @@ class Worker:
             int(spec["size"]),
             on_accept=self._on_accept,
         )
+        if self._recovering:
+            # Own sequence numbers must never be reused across
+            # incarnations: (sender, seq) is the message identity.
+            self.sender.resume_from(self._wal_state.max_own_seq(self.pid) + 1)
 
     # -- measurement hooks -------------------------------------------------
 
     def _on_accept(self, message: Any) -> None:
+        if self.wal is not None:
+            # Write-ahead: the accept record must be durable before the
+            # message can reach any peer, so the merged-log integrity
+            # check never sees a delivered-but-never-accepted message.
+            self.wal.append(
+                {
+                    "t": "accept",
+                    "s": message.msg_id.sender,
+                    "q": message.msg_id.seq,
+                    "at": message.abcast_time,
+                },
+                sync=True,
+            )
         self._accepts.append(
             [message.msg_id.sender, message.msg_id.seq, message.size, message.abcast_time]
         )
 
     def _on_adeliver(self, pid: int, message: Any, when: float) -> None:
-        self._delivers.append([message.msg_id.sender, message.msg_id.seq, when])
-        if message.msg_id.sender == self.pid and self.sender is not None:
+        assert self.runtime is not None
+        pair = (message.msg_id.sender, message.msg_id.seq)
+        self._delivered_ids.add(pair)
+        self._delivered_log.append(pair)
+        if self.wal is not None:
+            self.wal.append(
+                {
+                    "t": "deliver",
+                    "s": pair[0],
+                    "q": pair[1],
+                    "at": when,
+                    "i": self.runtime.modules[0].next_instance,
+                }
+            )
+        self._delivers.append([pair[0], pair[1], when])
+        if pair[0] == self.pid and self.sender is not None:
             self.sender.on_own_delivery(message)
 
+    # -- crash recovery ----------------------------------------------------
+
+    def _recovery_send(self, dst: int, kind: str, payload: dict, size: int) -> None:
+        assert self.transport is not None
+        self.transport.send(
+            NetMessage(
+                kind=kind,
+                module=RECOVERY_MODULE,
+                src=self.pid,
+                dst=dst,
+                payload=payload,
+                payload_size=size,
+                header_size=66,
+            )
+        )
+
+    def _begin_recovery(self) -> None:
+        """Start catch-up: ask live peers for the deliveries we missed."""
+        assert self.runtime is not None
+        if self.n == 1:
+            self._complete_recovery(self._wal_state.next_instance)
+            return
+        loop = self.runtime.loop
+
+        def request() -> None:
+            if not self._gating:
+                return
+            # Re-arm before sending: a send raising must not silence
+            # the retry loop (peers may simply not be reachable yet).
+            self._sync_retry = loop.call_later(SYNC_RETRY_INTERVAL, request)
+            _trace(self.pid, f"SYNC_REQ from={len(self._delivered_log)}")
+            for dst in range(self.n):
+                if dst != self.pid:
+                    self._recovery_send(
+                        dst, "SYNC_REQ", {"from": len(self._delivered_log)}, 16
+                    )
+
+        request()
+
+    def _on_recovery_message(self, message: NetMessage) -> None:
+        _trace(self.pid, f"recovery message {message.kind} from p{message.src}")
+        if message.kind == "SYNC_REQ":
+            self._serve_sync_request(message.src, message.payload)
+        elif message.kind == "SYNC_RESP":
+            self._apply_sync_response(message.payload)
+
+    def _serve_sync_request(self, requester: int, payload: dict) -> None:
+        """Answer a recovering peer with the deliveries it is missing."""
+        assert self.runtime is not None
+        if self._gating:
+            return  # recovering ourselves; our log is not a frontier yet
+        start = int(payload["from"])
+        if start > len(self._delivered_log):
+            _trace(self.pid, f"refusing SYNC_REQ: behind requester ({start})")
+            return  # we are behind the requester; let someone else help
+        entries = [[s, q] for s, q in self._delivered_log[start:]]
+        _trace(self.pid, f"answering SYNC_REQ p{requester} with {len(entries)} entries")
+        self._recovery_send(
+            requester,
+            "SYNC_RESP",
+            {
+                "from": start,
+                "entries": entries,
+                "next_instance": self.runtime.modules[0].next_instance,
+            },
+            16 + 12 * len(entries),
+        )
+
+    def _apply_sync_response(self, payload: dict) -> None:
+        """First matching response wins: apply it and rejoin the stack."""
+        assert self.runtime is not None
+        if not self._gating:
+            return
+        if int(payload["from"]) != len(self._delivered_log):
+            _trace(self.pid, "stale SYNC_RESP ignored")
+            return  # stale response to an earlier request
+        next_instance = int(payload["next_instance"])
+        now = self.runtime.now
+        for sender, seq in payload["entries"]:
+            pair = (int(sender), int(seq))
+            if pair in self._delivered_ids:
+                continue
+            self._delivered_ids.add(pair)
+            self._delivered_log.append(pair)
+            if self.wal is not None:
+                self.wal.append(
+                    {"t": "deliver", "s": pair[0], "q": pair[1],
+                     "at": now, "i": next_instance}
+                )
+            self._delivers.append([pair[0], pair[1], now])
+        self._complete_recovery(next_instance)
+
+    def _complete_recovery(self, next_instance: int) -> None:
+        """Fast-forward the stack, replay gated traffic, rejoin."""
+        assert self.runtime is not None
+        if self._sync_retry is not None:
+            self._sync_retry.cancel()
+            self._sync_retry = None
+        delivered = {MessageId(s, q) for s, q in self._delivered_ids}
+        self.runtime.resume_at(next_instance, delivered)
+        self._gating = False
+        gated, self._gated = self._gated, []
+        for message in gated:
+            self.runtime.on_network_message(message)
+        # Own messages accepted by the previous incarnation but still
+        # undelivered re-enter the stack (the write-ahead accept made
+        # them this incarnation's obligation); receivers dedup via
+        # their _adelivered sets, so a message that did make it out
+        # before the crash is ordered exactly once.
+        for sender, seq, __ in self._wal_state.accepted:
+            if sender == self.pid and (sender, seq) not in self._delivered_ids:
+                self.runtime.inject(
+                    AbcastRequest(
+                        AppMessage(
+                            msg_id=MessageId(sender, seq),
+                            size=int(self.spec["size"]),
+                            abcast_time=self.runtime.now,
+                        )
+                    )
+                )
+        if self.wal is not None:
+            self.wal.flush()
+        self._recovered = True
+        _trace(
+            self.pid,
+            f"recovery complete: next_instance={next_instance} "
+            f"log={len(self._delivered_log)}",
+        )
+        if self._control_writer is not None:
+            # Tell the orchestrator: it holds the measurement window
+            # open until every restarted worker has caught up (process
+            # start-up alone can eat the scheduled quiet margin).
+            send_control(
+                self._control_writer, {"type": "recovered", "pid": self.pid}
+            )
+        self._start_workload()
+
+    # -- fault directives (nemesis --live) ---------------------------------
+
+    def _apply_fault(self, document: dict) -> None:
+        assert self.transport is not None
+        op = document["op"]
+        peers = {int(p) for p in document.get("peers", ())}
+        if op == "hold":
+            self.transport.hold_links(peers)
+        elif op == "release":
+            self.transport.release_links(peers)
+        elif op == "drop":
+            self.transport.drop_links(peers)
+        elif op == "undrop":
+            self.transport.undrop_links(peers)
+        elif op == "delay":
+            self.transport.set_link_delay(
+                peers, float(document["extra"]), float(document.get("jitter", 0.0))
+            )
+        elif op == "clear_delay":
+            self.transport.clear_link_delay(peers)
+
     # -- workload ----------------------------------------------------------
+
+    def _backpressure_blocked(self) -> bool:
+        """The end-to-end credit check consulted before each arrival.
+
+        Two credit sources combine: the transport (no peer's unacked
+        frame queue may sit at its cap — bounded memory towards slow or
+        partitioned peers) and the ordering core (the top module's
+        backlog of messages awaiting ordering must stay under the cap —
+        a slow consensus pipeline pushes back on the arrival process
+        instead of hoarding an unbounded unordered set).
+        """
+        assert self.runtime is not None and self.transport is not None
+        if self.transport.congested:
+            return True
+        if self._unordered_cap is not None:
+            top = self.runtime.modules[0]
+            backlog = getattr(top, "unordered_count", None)
+            if backlog is None:
+                backlog = getattr(top, "pool_count", 0)
+            if backlog >= self._unordered_cap:
+                return True
+        return False
 
     def _schedule_arrivals(self) -> None:
         """Open-loop uniform arrivals, as the paper's constant-rate load.
@@ -160,11 +446,23 @@ class Worker:
             assert self.runtime is not None and self.sender is not None
             if self.runtime.now > stop_at or not self.runtime.alive:
                 return
-            self.sender.offer()
+            if self._backpressure_blocked():
+                # No credit: the arrival is refused outright (it never
+                # reaches flow control) and retried next period.
+                self._backpressure_stalls += 1
+            else:
+                self.sender.offer()
             loop.call_later(interval, tick)
 
         first_delay = max(0.0, rng.random() * interval - self.runtime.now)
         loop.call_later(first_delay, tick)
+
+    def _start_workload(self) -> None:
+        """Arrivals + warm-up snapshot; runs at start, or after rejoin."""
+        assert self.runtime is not None
+        self._schedule_arrivals()
+        warmup_in = max(0.0, float(self.spec["warmup"]) - self.runtime.now)
+        self.runtime.loop.call_later(warmup_in, self._at_warmup_end)
 
     def _at_warmup_end(self) -> None:
         assert self.runtime is not None and self.transport is not None
@@ -211,7 +509,28 @@ class Worker:
             "instances_at_end": self.runtime.modules[0].next_instance,
             "blocked_attempts": self.sender.window.total_blocked,
             "messages_received": self.transport.stats.messages_received,
+            "backpressure_stalls": self._backpressure_stalls,
+            "recovered": self._recovered,
+            "wal_truncated_bytes": self._wal_truncated,
         }
+
+    def _wal_checkpoint(self) -> None:
+        """Snapshot transport resume points and flush batched records."""
+        if self.wal is None or self.transport is None or self.runtime is None:
+            return
+        self.wal.append(
+            {
+                "t": "resume",
+                "counts": {
+                    str(peer): [nonce, count]
+                    for peer, (nonce, count) in (
+                        self.transport.delivered_counts().items()
+                    )
+                },
+                "at": self.runtime.now,
+            }
+        )
+        self.wal.flush()
 
     # -- main loop ---------------------------------------------------------
 
@@ -224,6 +543,7 @@ class Worker:
 
         control_host, control_port = spec["control"]
         reader, writer = await self._connect_control(control_host, int(control_port))
+        self._control_writer = writer
         send_control(writer, {"type": "ready", "pid": self.pid})
         await writer.drain()
 
@@ -233,10 +553,13 @@ class Worker:
                 if document["type"] == "start":
                     self.runtime.set_epoch(float(document["epoch"]))
                     self.runtime.start()
-                    self._schedule_arrivals()
-                    warmup_in = max(0.0, float(spec["warmup"]) - self.runtime.now)
-                    self.runtime.loop.call_later(warmup_in, self._at_warmup_end)
                     flusher = asyncio.create_task(self._flush_loop(writer))
+                    if self._gating:
+                        self._begin_recovery()
+                    else:
+                        self._start_workload()
+                elif document["type"] == "fault":
+                    self._apply_fault(document)
                 elif document["type"] == "stop":
                     break
             else:
@@ -245,12 +568,17 @@ class Worker:
         finally:
             if flusher is not None:
                 flusher.cancel()
+            if self._sync_retry is not None:
+                self._sync_retry.cancel()
 
         final = self._drain_samples()
         if final is not None:
             send_control(writer, final)
         send_control(writer, self._done_document())
         await writer.drain()
+        if self.wal is not None:
+            self._wal_checkpoint()
+            self.wal.close()
         await self.transport.close()
         writer.close()
         return 0
@@ -281,6 +609,7 @@ class Worker:
     async def _flush_loop(self, writer: asyncio.StreamWriter) -> None:
         while True:
             await asyncio.sleep(FLUSH_INTERVAL)
+            self._wal_checkpoint()
             document = self._drain_samples()
             if document is not None:
                 send_control(writer, document)

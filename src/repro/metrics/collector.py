@@ -43,6 +43,11 @@ class RunMetrics:
     blocked_attempts: int
     #: Whether the latency series passed the stationarity check.
     stationary: bool
+    #: Arrival ticks the live runtime's backpressure gate refused (the
+    #: transport's unacked-frame credit or the ordering core's backlog
+    #: cap was exhausted). Always 0 in simulation, where the paper's
+    #: flow-control window is the only throttle.
+    backpressure_stalls: int = 0
 
 
 class MetricsCollector:
@@ -91,7 +96,9 @@ class MetricsCollector:
         index = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
         return ordered[index]
 
-    def finalize(self, blocked_attempts: int = 0) -> RunMetrics:
+    def finalize(
+        self, blocked_attempts: int = 0, *, backpressure_stalls: int = 0
+    ) -> RunMetrics:
         """Reduce collected events to a :class:`RunMetrics`."""
         duration = self.window_end - self.window_start
         samples = self.latency_samples
@@ -110,4 +117,5 @@ class MetricsCollector:
             else 0.0,
             blocked_attempts=blocked_attempts,
             stationary=is_stationary(samples[:half], samples[half:]),
+            backpressure_stalls=backpressure_stalls,
         )

@@ -234,7 +234,13 @@ class InvariantMonitor:
 
     # -- end of run -----------------------------------------------------------
 
-    def finalize(self, *, expect_all_delivered: bool = True) -> list[Violation]:
+    def finalize(
+        self,
+        *,
+        expect_all_delivered: bool = True,
+        now: float | None = None,
+        crashed: set[int] | None = None,
+    ) -> list[Violation]:
         """Run the end-of-run checks and return all violations.
 
         Args:
@@ -242,13 +248,22 @@ class InvariantMonitor:
                 to completion. Only meaningful when the run had enough
                 drain for deliveries to finish and the faultload kept
                 channels quasi-reliable; automatically skipped otherwise.
+            now: End-of-run timestamp for the violation records. Taken
+                from the attached simulation when omitted; offline users
+                (the live merged-log check) pass it explicitly.
+            crashed: Processes that were down at the end of the run.
+                Taken from the attached simulation when omitted. A
+                killed-and-recovered live worker is *not* crashed: it
+                owes every delivery like anyone else.
         """
         if self._finalized:
             return self.violations
         self._finalized = True
         simulation = self._simulation
-        now = simulation.kernel.now if simulation is not None else 0.0
-        crashed = set(simulation.faults.crashed) if simulation is not None else set()
+        if now is None:
+            now = simulation.kernel.now if simulation is not None else 0.0
+        if crashed is None:
+            crashed = set(simulation.faults.crashed) if simulation is not None else set()
         if simulation is not None and not simulation.config.faultload.liveness_safe:
             expect_all_delivered = False
         correct = set(range(self.n)) - crashed

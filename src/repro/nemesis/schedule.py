@@ -265,61 +265,189 @@ def faultload_to_dict(faultload: FaultloadConfig) -> dict[str, Any]:
     }
 
 
+_MISSING = object()
+
+_FAULTLOAD_KEYS = (
+    "crashes",
+    "partitions",
+    "loss_bursts",
+    "delay_spikes",
+    "wrong_suspicions",
+)
+
+
+def _entries(data: dict[str, Any], key: str) -> list[tuple[str, dict[str, Any]]]:
+    """The list under *key*, as ``(where, entry)`` pairs, schema-checked."""
+    value = data.get(key, [])
+    if not isinstance(value, list):
+        raise ConfigurationError(
+            f"faultload field {key!r} must be a list, "
+            f"got {type(value).__name__}"
+        )
+    pairs = []
+    for index, entry in enumerate(value):
+        where = f"{key}[{index}]"
+        if not isinstance(entry, dict):
+            raise ConfigurationError(
+                f"faultload field {where!r} must be an object, "
+                f"got {type(entry).__name__}"
+            )
+        pairs.append((where, entry))
+    return pairs
+
+
+def _number(entry: dict, where: str, key: str, default: Any = _MISSING) -> Any:
+    if key not in entry:
+        if default is _MISSING:
+            raise ConfigurationError(
+                f"faultload field {where!r} is missing required key {key!r}"
+            )
+        return default
+    value = entry[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(
+            f"faultload field '{where}.{key}' must be a number, got {value!r}"
+        )
+    return value
+
+
+def _integer(entry: dict, where: str, key: str, default: Any = _MISSING) -> Any:
+    value = _number(entry, where, key, default)
+    if value is not default and not isinstance(value, int):
+        raise ConfigurationError(
+            f"faultload field '{where}.{key}' must be an integer, got {value!r}"
+        )
+    return value
+
+
+def _optional_process(entry: dict, where: str, key: str) -> int | None:
+    value = entry.get(key)
+    if value is not None and (isinstance(value, bool) or not isinstance(value, int)):
+        raise ConfigurationError(
+            f"faultload field '{where}.{key}' must be an integer process id "
+            f"or null, got {value!r}"
+        )
+    return value
+
+
+def _link_mode(entry: dict, where: str) -> LinkFaultMode:
+    raw = entry.get("mode", "hold")
+    try:
+        return LinkFaultMode(raw)
+    except ValueError:
+        choices = ", ".join(mode.value for mode in LinkFaultMode)
+        raise ConfigurationError(
+            f"faultload field '{where}.mode' must be one of {choices}, "
+            f"got {raw!r}"
+        ) from None
+
+
+def _groups(entry: dict, where: str) -> tuple[tuple[int, ...], ...]:
+    raw = entry.get("groups")
+    if not isinstance(raw, list) or not all(
+        isinstance(group, list) for group in raw
+    ):
+        raise ConfigurationError(
+            f"faultload field '{where}.groups' must be a list of lists of "
+            f"process ids, got {raw!r}"
+        )
+    for g, group in enumerate(raw):
+        for member in group:
+            if isinstance(member, bool) or not isinstance(member, int):
+                raise ConfigurationError(
+                    f"faultload field '{where}.groups[{g}]' must contain "
+                    f"integer process ids, got {member!r}"
+                )
+    return tuple(tuple(group) for group in raw)
+
+
 def faultload_from_dict(data: dict[str, Any]) -> FaultloadConfig:
-    """Inverse of :func:`faultload_to_dict` (tolerates missing keys)."""
+    """Inverse of :func:`faultload_to_dict`.
+
+    Missing event lists and per-event optional keys default; everything
+    present is schema-checked, and a violation raises
+    :class:`~repro.errors.ConfigurationError` naming the offending field
+    (e.g. ``crashes[0].time``) rather than a bare ``KeyError`` — these
+    dicts come from user-supplied ``--faultload``/``--replay`` files.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"a faultload document must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    unknown = sorted(set(data) - set(_FAULTLOAD_KEYS))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown faultload field(s): {', '.join(map(repr, unknown))} "
+            f"(known: {', '.join(_FAULTLOAD_KEYS)})"
+        )
     return FaultloadConfig(
         crashes=tuple(
-            CrashEvent(time=c["time"], process=c["process"])
-            for c in data.get("crashes", ())
+            CrashEvent(
+                time=_number(c, where, "time"),
+                process=_integer(c, where, "process"),
+            )
+            for where, c in _entries(data, "crashes")
         ),
         partitions=tuple(
             PartitionEvent(
-                start=p["start"],
-                heal=p["heal"],
-                groups=tuple(tuple(group) for group in p["groups"]),
-                mode=LinkFaultMode(p.get("mode", "hold")),
+                start=_number(p, where, "start"),
+                heal=_number(p, where, "heal"),
+                groups=_groups(p, where),
+                mode=_link_mode(p, where),
             )
-            for p in data.get("partitions", ())
+            for where, p in _entries(data, "partitions")
         ),
         loss_bursts=tuple(
             LossBurst(
-                start=b["start"],
-                end=b["end"],
-                probability=b["probability"],
-                src=b.get("src"),
-                dst=b.get("dst"),
-                mode=LinkFaultMode(b.get("mode", "hold")),
-                retry_delay=b.get("retry_delay", 0.2),
+                start=_number(b, where, "start"),
+                end=_number(b, where, "end"),
+                probability=_number(b, where, "probability"),
+                src=_optional_process(b, where, "src"),
+                dst=_optional_process(b, where, "dst"),
+                mode=_link_mode(b, where),
+                retry_delay=_number(b, where, "retry_delay", 0.2),
             )
-            for b in data.get("loss_bursts", ())
+            for where, b in _entries(data, "loss_bursts")
         ),
         delay_spikes=tuple(
             DelaySpike(
-                start=s["start"],
-                end=s["end"],
-                extra_delay=s["extra_delay"],
-                jitter=s.get("jitter", 0.0),
-                src=s.get("src"),
-                dst=s.get("dst"),
+                start=_number(s, where, "start"),
+                end=_number(s, where, "end"),
+                extra_delay=_number(s, where, "extra_delay"),
+                jitter=_number(s, where, "jitter", 0.0),
+                src=_optional_process(s, where, "src"),
+                dst=_optional_process(s, where, "dst"),
             )
-            for s in data.get("delay_spikes", ())
+            for where, s in _entries(data, "delay_spikes")
         ),
         wrong_suspicions=tuple(
             WrongSuspicion(
-                time=w["time"],
-                observer=w["observer"],
-                suspect=w["suspect"],
-                duration=w.get("duration", 0.2),
+                time=_number(w, where, "time"),
+                observer=_integer(w, where, "observer"),
+                suspect=_integer(w, where, "suspect"),
+                duration=_number(w, where, "duration", 0.2),
             )
-            for w in data.get("wrong_suspicions", ())
+            for where, w in _entries(data, "wrong_suspicions")
         ),
     )
 
 
 def load_faultload(path: str | Path) -> FaultloadConfig:
-    """Read a faultload schedule from a JSON file."""
+    """Read a faultload schedule from a JSON file.
+
+    Raises:
+        ConfigurationError: The file is not valid JSON or does not match
+            the faultload schema; the message names the problem.
+    """
     with open(path, encoding="utf-8") as handle:
-        return faultload_from_dict(json.load(handle))
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path} is not valid JSON: {exc}"
+            ) from exc
+    return faultload_from_dict(data)
 
 
 def dump_faultload(faultload: FaultloadConfig, path: str | Path) -> None:

@@ -383,13 +383,45 @@ def case_to_dict(case: NemesisCase) -> dict[str, Any]:
 
 
 def case_from_dict(data: dict[str, Any]) -> NemesisCase:
-    """Inverse of :func:`case_to_dict`."""
+    """Inverse of :func:`case_to_dict`.
+
+    Schema violations raise :class:`~repro.errors.ConfigurationError`
+    naming the offending field — these dicts come from user-supplied
+    ``--replay`` files.
+    """
+    if not isinstance(data, dict):
+        raise ConfigurationError(
+            f"a replay case must be a JSON object, got {type(data).__name__}"
+        )
+    for key in ("stack", "seed", "n"):
+        if key not in data:
+            raise ConfigurationError(
+                f"replay case is missing required field {key!r}"
+            )
+    stack = data["stack"]
+    if not isinstance(stack, str):
+        raise ConfigurationError(
+            f"replay case field 'stack' must be a string, got {stack!r}"
+        )
+    for key in ("seed", "n"):
+        value = data[key]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigurationError(
+                f"replay case field {key!r} must be an integer, got {value!r}"
+            )
+    fd = data.get("fd", "oracle")
+    if fd not in ("oracle", "heartbeat"):
+        raise ConfigurationError(
+            f"replay case field 'fd' must be 'oracle' or 'heartbeat', "
+            f"got {fd!r}"
+        )
+    faultload = data.get("faultload", {})
     return NemesisCase(
-        stack=data["stack"],
+        stack=stack,
         seed=data["seed"],
         n=data["n"],
-        fd=data.get("fd", "oracle"),
-        faultload=faultload_from_dict(data.get("faultload", {})),
+        fd=fd,
+        faultload=faultload_from_dict(faultload),
     )
 
 
@@ -401,9 +433,20 @@ def save_case(case: NemesisCase, path: str | Path) -> None:
 
 
 def load_case(path: str | Path) -> NemesisCase:
-    """Read a case back from :func:`save_case` output."""
+    """Read a case back from :func:`save_case` output.
+
+    Raises:
+        ConfigurationError: The file is not valid JSON or does not match
+            the case schema; the message names the problem.
+    """
     with open(path, encoding="utf-8") as handle:
-        return case_from_dict(json.load(handle))
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path} is not valid JSON: {exc}"
+            ) from exc
+    return case_from_dict(data)
 
 
 def repro_command(path: str | Path) -> str:

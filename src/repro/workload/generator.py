@@ -89,6 +89,16 @@ class FlowControlledSender:
         """Couple this sender to its arrival schedule (for lazy ticks)."""
         self._schedule = schedule
 
+    def resume_from(self, next_seq: int) -> None:
+        """Continue sequence numbering at *next_seq* (crash recovery).
+
+        ``(sender, seq)`` is the global message identity; a restarted
+        live worker must never reuse a sequence number its previous
+        incarnation already accepted, or two distinct payloads would
+        collide on one id. Never moves the counter backwards.
+        """
+        self._next_seq = max(self._next_seq, next_seq)
+
     def on_own_delivery(self, message: AppMessage) -> None:
         """Local adelivery of one of this process's own messages.
 

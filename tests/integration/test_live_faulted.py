@@ -1,0 +1,88 @@
+"""Faulted live deployments: kill-and-recover end to end (`-m slow`).
+
+The tentpole claim of the crash-recovery subsystem: a worker SIGKILLed
+mid-run restarts, recovers from its write-ahead log, state-transfers
+the deliveries it missed, and the merged per-worker logs pass all four
+abcast invariants plus the liveness watchdog. And because a faultload
+is declarative, the *same* JSON document replays in the simulator — the
+nemesis subsystem's sim compilation — with the same verdict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    CrashEvent,
+    DelaySpike,
+    FaultloadConfig,
+    PartitionEvent,
+)
+from repro.live.deploy import LiveSpec
+from repro.live.faults import run_nemesis_live
+from repro.nemesis.swarm import NemesisCase, run_case
+
+pytestmark = pytest.mark.slow
+
+#: Short but non-trivial: the group takes load, loses a worker, heals.
+SPEC = dict(n=3, load=120.0, size=64, duration=1.2, warmup=0.6, seed=7)
+
+KILL_RECOVER = FaultloadConfig(crashes=(CrashEvent(time=0.45, process=2),))
+
+CHURN = FaultloadConfig(
+    crashes=(CrashEvent(time=0.5, process=1),),
+    partitions=(PartitionEvent(start=0.25, heal=0.45, groups=((0,), (1, 2))),),
+    delay_spikes=(
+        DelaySpike(start=1.0, end=1.3, extra_delay=0.008, jitter=0.004),
+    ),
+)
+
+
+class TestKillAndRecover:
+    def test_modular_worker_recovers_and_invariants_hold(self, tmp_path):
+        report = run_nemesis_live(
+            LiveSpec(stack="modular", wal_dir=str(tmp_path), **SPEC),
+            KILL_RECOVER,
+        )
+        assert report.passed, [str(v) for v in report.violations]
+        assert report.kills == 1 and report.restarts == 1
+        assert report.recovered == (2,)
+        assert report.deliveries > 0
+        # The restarted worker's WAL kept growing after recovery.
+        assert (tmp_path / "worker-2.wal").stat().st_size > 0
+
+    def test_monolithic_worker_recovers_too(self, tmp_path):
+        report = run_nemesis_live(
+            LiveSpec(stack="monolithic", wal_dir=str(tmp_path), **SPEC),
+            KILL_RECOVER,
+        )
+        assert report.passed, [str(v) for v in report.violations]
+        assert report.recovered == (2,)
+
+    def test_partition_kill_and_spike_together(self, tmp_path):
+        report = run_nemesis_live(
+            LiveSpec(stack="modular", wal_dir=str(tmp_path), **SPEC), CHURN
+        )
+        assert report.passed, [str(v) for v in report.violations]
+        assert report.recovered == (1,)
+
+
+class TestSimLiveConformance:
+    def test_same_faultload_passes_in_both_modes(self, tmp_path):
+        """One declarative faultload, two compilations, one verdict."""
+        live = run_nemesis_live(
+            LiveSpec(stack="modular", wal_dir=str(tmp_path), **SPEC),
+            KILL_RECOVER,
+        )
+        assert live.passed, [str(v) for v in live.violations]
+        sim = run_case(
+            NemesisCase(
+                stack="modular",
+                seed=SPEC["seed"],
+                n=SPEC["n"],
+                fd="heartbeat",
+                faultload=KILL_RECOVER,
+            )
+        )
+        assert sim.passed, [str(v) for v in sim.violations]
+        assert live.deliveries > 0 and sim.deliveries > 0

@@ -1,0 +1,51 @@
+"""Worker-death triage: fault-injected kills vs unexpected crashes."""
+
+import io
+import signal
+
+from repro.live.deploy import _worker_failure
+from repro.live.worker import CRASH_EXIT_CODE
+
+
+class FakeWorker:
+    """Just enough of subprocess.Popen for the failure triage."""
+
+    def __init__(self, code, stderr=b""):
+        self._code = code
+        self.stderr = io.BytesIO(stderr) if stderr is not None else None
+
+    def poll(self):
+        return self._code
+
+
+class TestWorkerFailure:
+    def test_running_workers_are_fine(self):
+        assert _worker_failure([FakeWorker(None), FakeWorker(None)], set()) is None
+
+    def test_clean_exit_is_fine(self):
+        assert _worker_failure([FakeWorker(0)], set()) is None
+
+    def test_scheduled_sigkill_is_tolerated(self):
+        workers = [FakeWorker(None), FakeWorker(-signal.SIGKILL)]
+        assert _worker_failure(workers, {1}) is None
+
+    def test_unscheduled_sigkill_fails_fast(self):
+        workers = [FakeWorker(None), FakeWorker(-signal.SIGKILL)]
+        failure = _worker_failure(workers, set())
+        assert failure is not None
+        assert "worker 1" in failure
+
+    def test_crash_exit_code_fails_fast_with_stderr_tail(self):
+        workers = [FakeWorker(CRASH_EXIT_CODE, stderr=b"boom\ntrace line\n")]
+        failure = _worker_failure(workers, set())
+        assert failure is not None
+        assert str(CRASH_EXIT_CODE) in failure
+        assert "trace line" in failure
+
+    def test_expected_dead_with_wrong_code_still_fails(self):
+        """A scheduled victim that exits on its own (not our SIGKILL) is
+        a real bug, not fault injection."""
+        workers = [FakeWorker(1)]
+        failure = _worker_failure(workers, {0})
+        assert failure is not None
+        assert "scheduled-kill worker 0" in failure

@@ -62,7 +62,10 @@ class TestFrameDecoder:
 
 class TestHello:
     def test_roundtrip(self):
-        assert parse_hello(hello_frame(5)) == 5
+        assert parse_hello(hello_frame(5)) == (5, 0)
+
+    def test_roundtrip_with_incarnation_nonce(self):
+        assert parse_hello(hello_frame(5, 12345)) == (5, 12345)
 
     def test_garbage_rejected(self):
         with pytest.raises(NetworkError):

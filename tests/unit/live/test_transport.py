@@ -5,9 +5,17 @@ each test owns its loop and closes every transport it opened.
 """
 
 import asyncio
+import random
 import socket
+import struct
 
-from repro.live.transport import Transport
+from repro.live.transport import (
+    FrameDecoder,
+    Transport,
+    encode_frame,
+    next_backoff,
+    parse_hello,
+)
 from repro.net.message import NetMessage
 
 
@@ -149,5 +157,288 @@ class TestReconnect:
             # kept unacked frames queued.
             assert [m.payload for m in received[1]] == list(range(6))
             assert a.stats.reconnects >= 1
+
+        asyncio.run(run())
+
+    def test_exactly_once_across_consecutive_reconnects(self):
+        """Two receiver restarts in a row, resume points carried across.
+
+        Each incarnation snapshots ``delivered_counts()`` (what the
+        worker's WAL checkpoint persists) and the next one starts from
+        it — so across two consecutive outages with traffic queued
+        during each, the stream stays exactly-once and in order.
+        """
+
+        async def run():
+            addresses = {0: ("127.0.0.1", free_port()), 1: ("127.0.0.1", free_port())}
+            received = {0: [], 1: []}
+            a = Transport(
+                0, addresses, received[0].append, initial_backoff=0.01, max_backoff=0.05
+            )
+            await a.start()
+            seq = 0
+            resume = {}
+            try:
+                for outage in range(2):
+                    b = Transport(
+                        1, addresses, received[1].append, resume_points=resume
+                    )
+                    await b.start()
+                    for __ in range(3):
+                        a.send(message(0, 1, seq))
+                        seq += 1
+                    await wait_for(lambda: len(received[1]) == seq)
+                    resume = b.delivered_counts()
+                    await b.close()  # outage: frames sent now stay queued
+                    for __ in range(2):
+                        a.send(message(0, 1, seq))
+                        seq += 1
+                    await asyncio.sleep(0.03)
+                b = Transport(1, addresses, received[1].append, resume_points=resume)
+                await b.start()
+                try:
+                    await wait_for(lambda: len(received[1]) == seq)
+                    await asyncio.sleep(0.05)  # no late duplicates either
+                finally:
+                    await b.close()
+            finally:
+                await a.close()
+            assert [m.payload for m in received[1]] == list(range(seq))
+
+        asyncio.run(run())
+
+    def test_mid_frame_outage_does_not_lose_or_duplicate(self):
+        """The connection dies with a torn length-prefix on the wire.
+
+        A raw accept loop plays the receiver: it completes the HELLO /
+        resume-point handshake, reads half a frame, and disconnects
+        without ever acking. A real transport then takes over the same
+        port; the sender must retransmit from the resume point — the
+        torn frame arrives exactly once, nothing is skipped.
+        """
+
+        async def run():
+            port = free_port()
+            addresses = {0: ("127.0.0.1", free_port()), 1: ("127.0.0.1", port)}
+            received = {0: [], 1: []}
+            half_read = asyncio.Event()
+
+            async def flaky_receiver(reader, writer):
+                decoder = FrameDecoder()
+                data = await reader.read(64 * 1024)
+                frames = decoder.feed(data)
+                assert frames, "expected the HELLO first"
+                parse_hello(frames[0])
+                writer.write(struct.pack(">Q", 0))  # resume point: nothing yet
+                await writer.drain()
+                # Read a few bytes — at most half the first data frame,
+                # cutting it inside the 4-byte length prefix or body —
+                # then drop the connection without acking.
+                while decoder.pending_bytes < 2:
+                    chunk = await reader.read(2)
+                    if not chunk:
+                        break
+                    decoder.feed(chunk)
+                writer.close()
+                half_read.set()
+
+            flaky = await asyncio.start_server(flaky_receiver, "127.0.0.1", port)
+            a = Transport(
+                0, addresses, received[0].append, initial_backoff=0.01, max_backoff=0.05
+            )
+            await a.start()
+            try:
+                for seq in range(4):
+                    a.send(message(0, 1, seq))
+                await asyncio.wait_for(half_read.wait(), 5.0)
+                flaky.close()
+                await flaky.wait_closed()
+                b = Transport(1, addresses, received[1].append)
+                await b.start()
+                try:
+                    await wait_for(lambda: len(received[1]) == 4)
+                finally:
+                    await b.close()
+            finally:
+                await a.close()
+            assert [m.payload for m in received[1]] == [0, 1, 2, 3]
+
+        asyncio.run(run())
+
+    def test_restarted_sender_incarnation_is_not_resumed_at_old_count(self):
+        """A fresh endpoint at an old address starts its stream at zero.
+
+        Without the incarnation nonce the receiver would answer the new
+        sender with the dead incarnation's delivered count, and the new
+        stream's first messages would be silently swallowed (the
+        restarted worker could then never ask for state transfer).
+        """
+
+        async def run():
+            addresses = {0: ("127.0.0.1", free_port()), 1: ("127.0.0.1", free_port())}
+            received = {0: [], 1: []}
+            b = Transport(1, addresses, received[1].append)
+            await b.start()
+            a = Transport(0, addresses, received[0].append)
+            await a.start()
+            try:
+                for seq in range(3):
+                    a.send(message(0, 1, seq))
+                await wait_for(lambda: len(received[1]) == 3)
+                await a.close()  # the sender process dies...
+                a2 = Transport(  # ...and restarts: new incarnation
+                    0, addresses, received[0].append,
+                    initial_backoff=0.01, max_backoff=0.05,
+                )
+                assert a2.nonce != a.nonce
+                await a2.start()
+                try:
+                    a2.send(message(0, 1, 100))
+                    await wait_for(lambda: len(received[1]) == 4)
+                finally:
+                    await a2.close()
+            finally:
+                await b.close()
+            assert [m.payload for m in received[1]] == [0, 1, 2, 100]
+            # The receiver's count was reset for the new incarnation.
+            nonce, count = b.delivered_counts()[0]
+            assert nonce == a2.nonce
+            assert count == 1
+
+        asyncio.run(run())
+
+    def test_wal_resume_points_skip_already_delivered_frames(self):
+        """A restarted receiver answers with its persisted resume point."""
+
+        async def run():
+            addresses = {0: ("127.0.0.1", free_port()), 1: ("127.0.0.1", free_port())}
+            received = {0: [], 1: []}
+            b = Transport(1, addresses, received[1].append)
+            await b.start()
+            a = Transport(
+                0, addresses, received[0].append, initial_backoff=0.01, max_backoff=0.05
+            )
+            await a.start()
+            try:
+                for seq in range(3):
+                    a.send(message(0, 1, seq))
+                await wait_for(lambda: len(received[1]) == 3)
+                snapshot = b.delivered_counts()  # what the WAL would hold
+                await b.close()  # the receiver process dies
+                for seq in range(3, 5):
+                    a.send(message(0, 1, seq))  # queued during the outage
+                b2 = Transport(
+                    1, addresses, received[1].append, resume_points=snapshot
+                )
+                await b2.start()
+                try:
+                    await wait_for(lambda: len(received[1]) == 5)
+                    # Nothing the first incarnation already delivered is
+                    # replayed into the restarted endpoint.
+                    await asyncio.sleep(0.05)
+                finally:
+                    await b2.close()
+            finally:
+                await a.close()
+            assert [m.payload for m in received[1]] == [0, 1, 2, 3, 4]
+
+        asyncio.run(run())
+
+
+class TestBackoff:
+    def test_next_backoff_stays_within_decorrelated_jitter_bounds(self):
+        rng = random.Random(42)
+        initial, cap = 0.05, 1.0
+        previous = initial
+        for __ in range(200):
+            nxt = next_backoff(rng, initial, previous, cap)
+            assert initial <= nxt <= min(cap, max(initial, previous * 3.0))
+            previous = nxt
+
+    def test_backoff_is_capped(self):
+        rng = random.Random(7)
+        value = 0.05
+        for __ in range(50):
+            value = next_backoff(rng, 0.05, value, 1.0)
+            assert value <= 1.0
+
+    def test_two_seeded_streams_decorrelate(self):
+        """Peers redialing after one partition must not march in step."""
+        a, b = random.Random(1), random.Random(2)
+        seq_a, seq_b = [], []
+        prev_a = prev_b = 0.05
+        for __ in range(10):
+            prev_a = next_backoff(a, 0.05, prev_a, 1.0)
+            prev_b = next_backoff(b, 0.05, prev_b, 1.0)
+            seq_a.append(prev_a)
+            seq_b.append(prev_b)
+        assert seq_a != seq_b
+
+
+class TestFaultHooks:
+    def test_hold_and_release(self):
+        async def run():
+            addresses = {0: ("127.0.0.1", free_port()), 1: ("127.0.0.1", free_port())}
+            received = {0: [], 1: []}
+            a, b = make_pair(addresses, received)
+            await a.start()
+            await b.start()
+            try:
+                a.hold_links({1})
+                for seq in range(3):
+                    a.send(message(0, 1, seq))
+                await asyncio.sleep(0.05)
+                assert received[1] == []  # held, not lost
+                assert a.pending_to(1) == 3
+                a.release_links({1})
+                await wait_for(lambda: len(received[1]) == 3)
+            finally:
+                await a.close()
+                await b.close()
+            assert [m.payload for m in received[1]] == [0, 1, 2]
+
+        asyncio.run(run())
+
+    def test_drop_discards_and_undrop_restores(self):
+        async def run():
+            addresses = {0: ("127.0.0.1", free_port()), 1: ("127.0.0.1", free_port())}
+            received = {0: [], 1: []}
+            a, b = make_pair(addresses, received)
+            await a.start()
+            await b.start()
+            try:
+                a.drop_links({1})
+                a.send(message(0, 1, 0))
+                a.undrop_links({1})
+                a.send(message(0, 1, 1))
+                await wait_for(lambda: received[1])
+            finally:
+                await a.close()
+                await b.close()
+            assert [m.payload for m in received[1]] == [1]
+            assert a.stats.messages_dropped == 1
+
+        asyncio.run(run())
+
+    def test_congested_signals_at_the_unacked_cap(self):
+        async def run():
+            addresses = {0: ("127.0.0.1", free_port()), 1: ("127.0.0.1", free_port())}
+            received = {0: [], 1: []}
+            a = Transport(0, addresses, received[0].append, max_unacked=4)
+            b = Transport(1, addresses, received[1].append)
+            await a.start()
+            await b.start()
+            try:
+                assert not a.congested
+                a.hold_links({1})  # a slow consumer, in effect
+                for seq in range(4):
+                    a.send(message(0, 1, seq))
+                assert a.congested  # at the cap: stop offering load
+                a.release_links({1})
+                await wait_for(lambda: len(received[1]) == 4)
+                await wait_for(lambda: not a.congested)
+            finally:
+                await a.close()
+                await b.close()
 
         asyncio.run(run())
