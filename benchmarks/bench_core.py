@@ -32,7 +32,13 @@ import sys
 import time
 from pathlib import Path
 
-from repro.config import RunConfig, StackConfig, StackKind, WorkloadConfig
+from repro.config import (
+    FlowControlConfig,
+    RunConfig,
+    StackConfig,
+    StackKind,
+    WorkloadConfig,
+)
 from repro.experiments.runner import run_simulation
 
 #: Benchmark operating points: figure-representative (config, seed) pairs.
@@ -62,6 +68,19 @@ BENCH_POINTS: dict[str, RunConfig] = {
         n=3,
         stack=StackConfig(kind=StackKind.MONOLITHIC),
         workload=WorkloadConfig(offered_load=2000.0, message_size=64),
+    ),
+    "ring_n3_ringpaxos_load2000": RunConfig(
+        n=3,
+        stack=StackConfig(kind=StackKind.RINGPAXOS),
+        workload=WorkloadConfig(offered_load=2000.0, message_size=16384),
+    ),
+    # The high-offered-load distillation point: same shape as the 2x
+    # batched-vs-plain-sequencer acceptance comparison.
+    "distill_n3_batched_sequencer_load8000": RunConfig(
+        n=3,
+        stack=StackConfig(kind=StackKind.BATCHED_SEQUENCER),
+        workload=WorkloadConfig(offered_load=8000.0, message_size=64),
+        flow_control=FlowControlConfig(window=64),
     ),
 }
 

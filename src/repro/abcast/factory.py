@@ -1,4 +1,4 @@
-"""Builds the module list of either stack from a :class:`StackConfig`.
+"""Builds the module list of any stack from a :class:`StackConfig`.
 
 Two entry points:
 
@@ -10,15 +10,23 @@ Two entry points:
   same wiring serves the simulator's
   :class:`~repro.stack.runtime.ProcessRuntime` and the live
   :class:`~repro.live.runtime.LiveRuntime`.
+
+Registration is table-driven: :data:`_STACK_BUILDERS` maps each
+:class:`~repro.config.StackKind` to its module-list builder, so adding a
+stack means adding one row here plus a label in
+:data:`repro.config.STACK_REGISTRY` — CLI ``--help``, sweeps, and
+nemesis label validation pick it up automatically.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.abcast.batching import DistillationLayer
 from repro.abcast.indirect import IndirectModularAtomicBroadcast
 from repro.abcast.modular import ModularAtomicBroadcast
 from repro.abcast.monolithic import MonolithicAtomicBroadcast
+from repro.abcast.ringpaxos import ring_stack
 from repro.abcast.sequencer import SequencerAtomicBroadcast
 from repro.broadcast.reliable import ReliableBroadcast
 from repro.config import ConsensusVariant, StackConfig, StackKind
@@ -36,6 +44,62 @@ RuntimeFactory = Callable[[list[Microprotocol]], RuntimeProtocol]
 #: Signature of :func:`build_stack`, for pluggable replacements.
 StackFactory = Callable[..., "list[Microprotocol]"]
 
+#: Module-list builder for one stack kind: (config, ctx, max_batch).
+StackBuilder = Callable[
+    [StackConfig, ModuleContext, "int | None"], "list[Microprotocol]"
+]
+
+
+def _build_monolithic(
+    config: StackConfig, ctx: ModuleContext, max_batch: int | None
+) -> list[Microprotocol]:
+    return [MonolithicAtomicBroadcast(ctx, config.optimizations, max_batch=max_batch)]
+
+
+def _build_sequencer(
+    config: StackConfig, ctx: ModuleContext, max_batch: int | None
+) -> list[Microprotocol]:
+    return [SequencerAtomicBroadcast(ctx)]
+
+
+def _build_modular(
+    config: StackConfig, ctx: ModuleContext, max_batch: int | None
+) -> list[Microprotocol]:
+    if config.consensus is ConsensusVariant.TEXTBOOK:
+        consensus: Microprotocol = TextbookConsensus(ctx)
+    else:
+        consensus = OptimizedConsensus(ctx)
+    if config.consensus is ConsensusVariant.INDIRECT:
+        abcast: Microprotocol = IndirectModularAtomicBroadcast(
+            ctx, guard_timeout=config.guard_timeout, max_batch=max_batch
+        )
+    else:
+        abcast = ModularAtomicBroadcast(
+            ctx, guard_timeout=config.guard_timeout, max_batch=max_batch
+        )
+    return [
+        abcast,
+        consensus,
+        ReliableBroadcast(ctx, variant=config.rbcast),
+    ]
+
+
+def _build_ringpaxos(
+    config: StackConfig, ctx: ModuleContext, max_batch: int | None
+) -> list[Microprotocol]:
+    return ring_stack(ctx, guard_timeout=config.guard_timeout, max_batch=max_batch)
+
+
+#: The registration table. ``BATCHED_SEQUENCER`` reuses the sequencer
+#: builder — the batching layer is prepended by :func:`build_stack`.
+_STACK_BUILDERS: dict[StackKind, StackBuilder] = {
+    StackKind.MONOLITHIC: _build_monolithic,
+    StackKind.SEQUENCER: _build_sequencer,
+    StackKind.MODULAR: _build_modular,
+    StackKind.RINGPAXOS: _build_ringpaxos,
+    StackKind.BATCHED_SEQUENCER: _build_sequencer,
+}
+
 
 def build_stack(
     config: StackConfig,
@@ -47,7 +111,9 @@ def build_stack(
 
     The modular stack is the paper's Fig. 1 (left): abcast over consensus
     over reliable broadcast, three separately composed modules. The
-    monolithic stack (Fig. 1, right) is a single merged module.
+    monolithic stack (Fig. 1, right) is a single merged module. The
+    post-2007 additions (ring dissemination, distillation) register in
+    :data:`_STACK_BUILDERS` alongside them.
 
     Args:
         config: Which stack and which protocol variants to build.
@@ -55,31 +121,19 @@ def build_stack(
         max_batch: Flow-control cap on messages ordered per consensus
             (see :class:`~repro.config.FlowControlConfig`).
     """
-    if config.kind is StackKind.MONOLITHIC:
-        return [
-            MonolithicAtomicBroadcast(ctx, config.optimizations, max_batch=max_batch)
-        ]
-    if config.kind is StackKind.SEQUENCER:
-        return [SequencerAtomicBroadcast(ctx)]
-    if config.kind is StackKind.MODULAR:
-        if config.consensus is ConsensusVariant.TEXTBOOK:
-            consensus: Microprotocol = TextbookConsensus(ctx)
-        else:
-            consensus = OptimizedConsensus(ctx)
-        if config.consensus is ConsensusVariant.INDIRECT:
-            abcast: Microprotocol = IndirectModularAtomicBroadcast(
-                ctx, guard_timeout=config.guard_timeout, max_batch=max_batch
-            )
-        else:
-            abcast = ModularAtomicBroadcast(
-                ctx, guard_timeout=config.guard_timeout, max_batch=max_batch
-            )
-        return [
-            abcast,
-            consensus,
-            ReliableBroadcast(ctx, variant=config.rbcast),
-        ]
-    raise ConfigurationError(f"unknown stack kind {config.kind!r}")
+    builder = _STACK_BUILDERS.get(config.kind)
+    if builder is None:
+        registered = ", ".join(sorted(kind.value for kind in _STACK_BUILDERS))
+        raise ConfigurationError(
+            f"unknown stack kind {config.kind!r} (registered stacks: {registered})"
+        )
+    modules = builder(config, ctx, max_batch)
+    batching = config.batching
+    if batching is None and config.kind is StackKind.BATCHED_SEQUENCER:
+        batching = config.batching_or_default()
+    if batching is not None:
+        modules.insert(0, DistillationLayer(ctx, batching))
+    return modules
 
 
 def build_process(

@@ -64,7 +64,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.performance_model import predict_gap
-from repro.config import STACK_LABELS
+from repro.config import STACK_LABELS, StackConfig, StackKind, stack_from_label
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.ablation import ablation_table, run_ablation
 from repro.experiments.export import write_sweep_csv, write_sweeps_json
@@ -177,16 +177,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "(byte-identical across runs and --jobs values)"
         ),
     )
-    nemesis = parser.add_argument_group("nemesis options")
-    nemesis.add_argument(
+    parser.add_argument(
         "--stacks",
-        default=",".join(nemesis_swarm.DEFAULT_STACKS),
+        default=None,
         metavar="A,B,...",
         help=(
-            "comma-separated stacks to sweep "
-            f"(known: {', '.join(nemesis_swarm.STACKS)})"
+            "comma-separated stacks for sweep/figure/nemesis commands "
+            f"(known: {', '.join(nemesis_swarm.STACKS)}; defaults: the "
+            "paper's modular+monolithic for sweeps and figures, "
+            f"{','.join(nemesis_swarm.DEFAULT_STACKS)} for nemesis)"
         ),
     )
+    nemesis = parser.add_argument_group("nemesis options")
     nemesis.add_argument(
         "--faultload",
         default=None,
@@ -373,7 +375,12 @@ def _run_nemesis(args: argparse.Namespace) -> int:
         _print_violations(result)
         return 1
 
-    stacks = tuple(label for label in args.stacks.split(",") if label)
+    stacks_arg = (
+        args.stacks
+        if args.stacks is not None
+        else ",".join(nemesis_swarm.DEFAULT_STACKS)
+    )
+    stacks = tuple(label for label in stacks_arg.split(",") if label)
     unknown = [label for label in stacks if label not in nemesis_swarm.STACKS]
     if unknown:
         raise ConfigurationError(
@@ -501,18 +508,50 @@ def _resolved_seeds(args: argparse.Namespace) -> tuple[int, ...]:
     return FAST_SEEDS if args.fast else DEFAULT_SEEDS
 
 
+def _sweep_stacks(args: argparse.Namespace) -> tuple[StackKind, ...] | None:
+    """Resolve ``--stacks`` labels to sweepable stack kinds.
+
+    ``None`` (flag not given) keeps each sweep's paper defaults. Labels
+    must be kind-pure: ``indirect`` is a consensus-variant twist on the
+    modular *kind*, so a sweep keyed by :class:`StackKind` cannot
+    represent it as a separate curve.
+    """
+    if args.stacks is None:
+        return None
+    kinds = []
+    for label in args.stacks.split(","):
+        if not label:
+            continue
+        config = stack_from_label(label)  # raises with the sorted registry
+        if config != StackConfig(kind=config.kind):
+            raise ConfigurationError(
+                f"stack {label!r} is not sweepable: sweeps vary the stack "
+                "kind only (pick one of: "
+                + ", ".join(sorted(k.value for k in StackKind))
+                + ")"
+            )
+        kinds.append(config.kind)
+    if not kinds:
+        raise ConfigurationError("--stacks must name at least one stack")
+    return tuple(kinds)
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     """Run the load and size sweeps without the figure rendering."""
     seeds = _resolved_seeds(args)
+    stacks = _sweep_stacks(args)
+    stack_kwargs = {} if stacks is None else {"stacks": stacks}
     load_sweep = run_load_sweep(
         loads=FAST_LOADS if args.fast else PAPER_LOADS,
         seeds=seeds,
         jobs=args.jobs,
+        **stack_kwargs,
     )
     size_sweep = run_size_sweep(
         sizes=FAST_SIZES if args.fast else PAPER_SIZES,
         seeds=seeds,
         jobs=args.jobs,
+        **stack_kwargs,
     )
     if args.json_out is not None:
         write_sweeps_json(
@@ -523,6 +562,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
         return 0
     print("load sweep: early latency (ms) by offered load (msgs/s)")
     print(sweep_table(load_sweep, "latency", x_label="load"))
+    print()
+    print("load sweep: delivery latency p50 (ms) by offered load (msgs/s)")
+    print(sweep_table(load_sweep, "latency_p50", x_label="load"))
+    print()
+    print("load sweep: delivery latency p99 (ms) by offered load (msgs/s)")
+    print(sweep_table(load_sweep, "latency_p99", x_label="load"))
     print()
     print("load sweep: throughput (msgs/s) by offered load (msgs/s)")
     print(sweep_table(load_sweep, "throughput", x_label="load"))
@@ -563,13 +608,17 @@ def _dispatch(args: argparse.Namespace) -> int:
             "figure10": figure10,
             "figure11": figure11,
         }[command]
-        report = figure_fn(fast=args.fast, seeds=seeds, jobs=args.jobs)
+        report = figure_fn(
+            fast=args.fast, seeds=seeds, jobs=args.jobs, stacks=_sweep_stacks(args)
+        )
         emit(report)
         _maybe_export(report, args.csv)
         if args.json_out is not None:
             _export_json({report.sweep.parameter: report.sweep}, args.json_out)
     if command in ("figures", "all"):
-        reports = all_figures(fast=args.fast, seeds=seeds, jobs=args.jobs)
+        reports = all_figures(
+            fast=args.fast, seeds=seeds, jobs=args.jobs, stacks=_sweep_stacks(args)
+        )
         for report in reports:
             emit(report)
             _maybe_export(report, args.csv)

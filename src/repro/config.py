@@ -26,6 +26,14 @@ class StackKind(enum.Enum):
     #: Extension baseline: fixed-sequencer ordering without consensus
     #: (good runs only; see :mod:`repro.abcast.sequencer`).
     SEQUENCER = "sequencer"
+    #: Extension: Ring Paxos dissemination (Marandi et al., DSN 2010) —
+    #: acceptor-to-acceptor forwarding along a static ring with decisions
+    #: piggybacked on the ring traffic. See :mod:`repro.abcast.ringpaxos`.
+    RINGPAXOS = "ringpaxos"
+    #: Extension: the fixed sequencer composed under a Chop Chop-style
+    #: distillation layer (Camaioni et al., 2024) that aggregates client
+    #: submissions into one abcast payload. See :mod:`repro.abcast.batching`.
+    BATCHED_SEQUENCER = "batched-sequencer"
 
 
 class ConsensusVariant(enum.Enum):
@@ -185,6 +193,33 @@ class FlowControlConfig:
 
 
 @dataclass(frozen=True, slots=True)
+class BatchingConfig:
+    """Knobs of the distillation (batching) layer.
+
+    The layer aggregates client submissions into one abcast payload and
+    unbatches on delivery (see :mod:`repro.abcast.batching`). A batch is
+    sealed by whichever trigger fires first: the size trigger (the batch
+    reaches :attr:`max_messages` entries) or the time trigger (the oldest
+    buffered submission has waited :attr:`flush_interval` seconds).
+    """
+
+    #: Size trigger: seal a batch at this many messages.
+    max_messages: int = 32
+    #: Time trigger: seal a non-empty batch after this many seconds.
+    flush_interval: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_messages < 1:
+            raise ConfigurationError(
+                f"batching max_messages must be >= 1: {self.max_messages}"
+            )
+        if self.flush_interval <= 0:
+            raise ConfigurationError(
+                f"batching flush_interval must be positive: {self.flush_interval}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
 class FailureDetectorConfig:
     """Failure-detection parameters."""
 
@@ -231,6 +266,15 @@ class StackConfig:
     optimizations: MonolithicOptimizations = field(
         default_factory=MonolithicOptimizations
     )
+    #: Optional distillation layer composed on top of the stack (always
+    #: present for :attr:`StackKind.BATCHED_SEQUENCER`, where ``None``
+    #: means the default :class:`BatchingConfig`; any other kind gains a
+    #: batching layer when this is set explicitly).
+    batching: BatchingConfig | None = None
+
+    def batching_or_default(self) -> BatchingConfig:
+        """The effective batching knobs where a layer is implied."""
+        return self.batching if self.batching is not None else BatchingConfig()
 
 
 @dataclass(frozen=True, slots=True)
@@ -587,22 +631,31 @@ def monolithic_stack(
     )
 
 
+#: Table of registered stacks: label → configuration. This single table
+#: drives the CLI ``--stack`` choices, the live deployment, sweep stack
+#: selection and the nemesis swarm's label validation, so a new stack
+#: registered here shows up everywhere at once.
+STACK_REGISTRY: dict[str, StackConfig] = {
+    "modular": StackConfig(kind=StackKind.MODULAR),
+    "monolithic": StackConfig(kind=StackKind.MONOLITHIC),
+    "indirect": StackConfig(
+        kind=StackKind.MODULAR, consensus=ConsensusVariant.INDIRECT
+    ),
+    "sequencer": StackConfig(kind=StackKind.SEQUENCER),
+    "ringpaxos": StackConfig(kind=StackKind.RINGPAXOS),
+    "batched-sequencer": StackConfig(kind=StackKind.BATCHED_SEQUENCER),
+}
+
 #: Stack labels accepted by the CLI and the live deployment.
-STACK_LABELS = ("modular", "monolithic", "indirect", "sequencer")
+STACK_LABELS = tuple(STACK_REGISTRY)
 
 
 def stack_from_label(label: str) -> StackConfig:
     """Resolve a CLI-level stack label to its :class:`StackConfig`."""
-    if label == "modular":
-        return StackConfig(kind=StackKind.MODULAR)
-    if label == "monolithic":
-        return StackConfig(kind=StackKind.MONOLITHIC)
-    if label == "indirect":
-        return StackConfig(
-            kind=StackKind.MODULAR, consensus=ConsensusVariant.INDIRECT
-        )
-    if label == "sequencer":
-        return StackConfig(kind=StackKind.SEQUENCER)
-    raise ConfigurationError(
-        f"unknown stack {label!r} (known: {', '.join(STACK_LABELS)})"
-    )
+    try:
+        return STACK_REGISTRY[label]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown stack {label!r} "
+            f"(registered stacks: {', '.join(sorted(STACK_REGISTRY))})"
+        ) from None

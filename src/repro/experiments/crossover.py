@@ -70,32 +70,53 @@ def saturation_knee(
 
 @dataclass(frozen=True, slots=True)
 class GapPoint:
-    """Relative monolithic advantage at one sweep position."""
+    """Relative contender advantage at one sweep position."""
 
     x: float
-    #: For latency: fraction by which the monolith is *lower*.
-    #: For throughput: fraction by which the monolith is *higher*.
+    #: For latency: fraction by which the contender is *lower*.
+    #: For throughput: fraction by which the contender is *higher*.
     gap: float
 
 
 def gap_series(
-    sweep: SweepResult, n: int, metric: str
+    sweep: SweepResult,
+    n: int,
+    metric: str,
+    *,
+    baseline: StackKind = StackKind.MODULAR,
+    contender: StackKind = StackKind.MONOLITHIC,
 ) -> list[GapPoint]:
-    """Modular-vs-monolithic gap at every x of a sweep."""
-    modular = dict(_series_values(sweep, n, StackKind.MODULAR, metric))
-    mono = dict(_series_values(sweep, n, StackKind.MONOLITHIC, metric))
-    shared = sorted(set(modular) & set(mono))
+    """Contender-vs-baseline gap at every x of a sweep.
+
+    The defaults reproduce the paper's modular-vs-monolithic analysis;
+    the extension stacks reuse the same machinery (e.g.
+    ``baseline=SEQUENCER, contender=BATCHED_SEQUENCER`` quantifies what
+    distillation buys over the raw sequencer along a load sweep).
+    """
+    base = dict(_series_values(sweep, n, baseline, metric))
+    cont = dict(_series_values(sweep, n, contender, metric))
+    shared = sorted(set(base) & set(cont))
     if not shared:
         raise MetricsError("sweeps for the two stacks share no x values")
     gaps = []
     for x in shared:
         if metric == "latency":
-            gaps.append(GapPoint(x, 1.0 - mono[x] / modular[x]))
+            gaps.append(GapPoint(x, 1.0 - cont[x] / base[x]))
         else:
-            gaps.append(GapPoint(x, mono[x] / modular[x] - 1.0))
+            gaps.append(GapPoint(x, cont[x] / base[x] - 1.0))
     return gaps
 
 
-def peak_gap(sweep: SweepResult, n: int, metric: str) -> GapPoint:
+def peak_gap(
+    sweep: SweepResult,
+    n: int,
+    metric: str,
+    *,
+    baseline: StackKind = StackKind.MODULAR,
+    contender: StackKind = StackKind.MONOLITHIC,
+) -> GapPoint:
     """The paper's headline number: the largest gap along a sweep."""
-    return max(gap_series(sweep, n, metric), key=lambda p: p.gap)
+    return max(
+        gap_series(sweep, n, metric, baseline=baseline, contender=contender),
+        key=lambda p: p.gap,
+    )

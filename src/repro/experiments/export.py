@@ -31,6 +31,8 @@ CSV_FIELDS = (
     "stack",
     "latency_mean_s",
     "latency_ci95_s",
+    "latency_p50_s",
+    "latency_p99_s",
     "throughput_mean",
     "throughput_ci95",
     "messages_per_consensus",
@@ -52,16 +54,20 @@ def write_sweep_csv(sweep: SweepResult, destination: IO[str] | str | Path) -> in
     writer = csv.writer(destination)
     writer.writerow(CSV_FIELDS)
     rows = 0
+    def fmt(value: float) -> str:
+        return "" if value != value else f"{value:.9f}"
+
     for point in sorted(sweep.points, key=lambda p: (p.n, p.stack.value, p.x)):
-        latency_mean = point.latency.mean
         writer.writerow(
             [
                 sweep.parameter,
                 point.x,
                 point.n,
                 point.stack.value,
-                "" if latency_mean != latency_mean else f"{latency_mean:.9f}",
+                fmt(point.latency.mean),
                 f"{point.latency.half_width:.9f}",
+                fmt(point.latency_p50.mean),
+                fmt(point.latency_p99.mean),
                 f"{point.throughput.mean:.3f}",
                 f"{point.throughput.half_width:.3f}",
                 ""
@@ -124,6 +130,8 @@ def point_to_dict(point: PointSummary) -> dict[str, Any]:
         "stack": point.stack.value,
         "x": point.x,
         "latency": _ci_to_dict(point.latency),
+        "latency_p50": _ci_to_dict(point.latency_p50),
+        "latency_p99": _ci_to_dict(point.latency_p99),
         "throughput": _ci_to_dict(point.throughput),
         "delivered_per_consensus": _finite(point.delivered_per_consensus),
         "stationary": point.stationary,

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.config import StackKind
 from repro.experiments.report import gap_summary, sweep_table
 from repro.experiments.sweeps import (
     DEFAULT_SEEDS,
@@ -36,6 +37,19 @@ def _group_sizes(sweep: SweepResult) -> tuple[int, ...]:
     return tuple(sorted({p.n for p in sweep.points}))
 
 
+def _gap_headlines(sweep: SweepResult, metric: str, xs) -> tuple[str, ...]:
+    """The paper's modular-vs-monolithic headline gaps — skipped when a
+    custom stack selection omits either of the two paper stacks."""
+    present = {p.stack for p in sweep.points}
+    if not {StackKind.MODULAR, StackKind.MONOLITHIC} <= present:
+        return ()
+    return tuple(
+        gap_summary(sweep, metric, x, n)
+        for n in _group_sizes(sweep)
+        for x in xs
+    )
+
+
 @dataclass(frozen=True, slots=True)
 class FigureReport:
     """A regenerated figure: its data, rendering and headline gaps."""
@@ -53,22 +67,32 @@ class FigureReport:
 
 
 def _load_sweep(
-    fast: bool, seeds: tuple[int, ...] | None, jobs: int = 1
+    fast: bool,
+    seeds: tuple[int, ...] | None,
+    jobs: int = 1,
+    stacks: tuple[StackKind, ...] | None = None,
 ) -> SweepResult:
+    kwargs = {} if stacks is None else {"stacks": stacks}
     return run_load_sweep(
         loads=FAST_LOADS if fast else PAPER_LOADS,
         seeds=seeds or (FAST_SEEDS if fast else DEFAULT_SEEDS),
         jobs=jobs,
+        **kwargs,
     )
 
 
 def _size_sweep(
-    fast: bool, seeds: tuple[int, ...] | None, jobs: int = 1
+    fast: bool,
+    seeds: tuple[int, ...] | None,
+    jobs: int = 1,
+    stacks: tuple[StackKind, ...] | None = None,
 ) -> SweepResult:
+    kwargs = {} if stacks is None else {"stacks": stacks}
     return run_size_sweep(
         sizes=FAST_SIZES if fast else PAPER_SIZES,
         seeds=seeds or (FAST_SEEDS if fast else DEFAULT_SEEDS),
         jobs=jobs,
+        **kwargs,
     )
 
 
@@ -78,18 +102,17 @@ def figure8(
     fast: bool = False,
     seeds: tuple[int, ...] | None = None,
     jobs: int = 1,
+    stacks: tuple[StackKind, ...] | None = None,
 ) -> FigureReport:
     """Early latency vs offered load (abcast messages of 16384 bytes)."""
-    sweep = sweep or _load_sweep(fast, seeds, jobs)
+    sweep = sweep or _load_sweep(fast, seeds, jobs, stacks)
     high_load = max(p.x for p in sweep.points)
     return FigureReport(
         figure="Figure 8",
         title="early latency (ms) vs offered load (msgs/s), size=16384",
         sweep=sweep,
         table=sweep_table(sweep, "latency", x_label="load"),
-        headlines=tuple(
-            gap_summary(sweep, "latency", high_load, n) for n in _group_sizes(sweep)
-        ),
+        headlines=_gap_headlines(sweep, "latency", (high_load,)),
     )
 
 
@@ -99,9 +122,10 @@ def figure9(
     fast: bool = False,
     seeds: tuple[int, ...] | None = None,
     jobs: int = 1,
+    stacks: tuple[StackKind, ...] | None = None,
 ) -> FigureReport:
     """Early latency vs message size (offered load 2000 msgs/s)."""
-    sweep = sweep or _size_sweep(fast, seeds, jobs)
+    sweep = sweep or _size_sweep(fast, seeds, jobs, stacks)
     small = min(p.x for p in sweep.points)
     large = max(p.x for p in sweep.points)
     return FigureReport(
@@ -109,11 +133,7 @@ def figure9(
         title="early latency (ms) vs message size (bytes), load=2000 msgs/s",
         sweep=sweep,
         table=sweep_table(sweep, "latency", x_label="size"),
-        headlines=tuple(
-            gap_summary(sweep, "latency", x, n)
-            for n in _group_sizes(sweep)
-            for x in (small, large)
-        ),
+        headlines=_gap_headlines(sweep, "latency", (small, large)),
     )
 
 
@@ -123,19 +143,17 @@ def figure10(
     fast: bool = False,
     seeds: tuple[int, ...] | None = None,
     jobs: int = 1,
+    stacks: tuple[StackKind, ...] | None = None,
 ) -> FigureReport:
     """Throughput vs offered load (abcast messages of 16384 bytes)."""
-    sweep = sweep or _load_sweep(fast, seeds, jobs)
+    sweep = sweep or _load_sweep(fast, seeds, jobs, stacks)
     high_load = max(p.x for p in sweep.points)
     return FigureReport(
         figure="Figure 10",
         title="throughput (msgs/s) vs offered load (msgs/s), size=16384",
         sweep=sweep,
         table=sweep_table(sweep, "throughput", x_label="load"),
-        headlines=tuple(
-            gap_summary(sweep, "throughput", high_load, n)
-            for n in _group_sizes(sweep)
-        ),
+        headlines=_gap_headlines(sweep, "throughput", (high_load,)),
     )
 
 
@@ -145,9 +163,10 @@ def figure11(
     fast: bool = False,
     seeds: tuple[int, ...] | None = None,
     jobs: int = 1,
+    stacks: tuple[StackKind, ...] | None = None,
 ) -> FigureReport:
     """Throughput vs message size (offered load 2000 msgs/s)."""
-    sweep = sweep or _size_sweep(fast, seeds, jobs)
+    sweep = sweep or _size_sweep(fast, seeds, jobs, stacks)
     small = min(p.x for p in sweep.points)
     large = max(p.x for p in sweep.points)
     return FigureReport(
@@ -155,11 +174,7 @@ def figure11(
         title="throughput (msgs/s) vs message size (bytes), load=2000 msgs/s",
         sweep=sweep,
         table=sweep_table(sweep, "throughput", x_label="size"),
-        headlines=tuple(
-            gap_summary(sweep, "throughput", x, n)
-            for n in _group_sizes(sweep)
-            for x in (small, large)
-        ),
+        headlines=_gap_headlines(sweep, "throughput", (small, large)),
     )
 
 
@@ -168,10 +183,11 @@ def all_figures(
     fast: bool = False,
     seeds: tuple[int, ...] | None = None,
     jobs: int = 1,
+    stacks: tuple[StackKind, ...] | None = None,
 ) -> list[FigureReport]:
     """Regenerate all four figures, sharing sweeps as the paper does."""
-    load_sweep = _load_sweep(fast, seeds, jobs)
-    size_sweep = _size_sweep(fast, seeds, jobs)
+    load_sweep = _load_sweep(fast, seeds, jobs, stacks)
+    size_sweep = _size_sweep(fast, seeds, jobs, stacks)
     return [
         figure8(load_sweep),
         figure9(size_sweep),

@@ -40,6 +40,18 @@ def _format_ci(ci: ConfidenceInterval, scale: float, unit_digits: int) -> str:
     return f"{ci.mean * scale:.{unit_digits}f}±{ci.half_width * scale:.{unit_digits}f}"
 
 
+#: Column order of sweep tables: the paper's two stacks first (so the
+#: regenerated Figs. 8–11 keep their historical layout), then the
+#: extension stacks. Only stacks actually present in a sweep appear.
+TABLE_STACK_ORDER = (
+    StackKind.MONOLITHIC,
+    StackKind.MODULAR,
+    StackKind.SEQUENCER,
+    StackKind.RINGPAXOS,
+    StackKind.BATCHED_SEQUENCER,
+)
+
+
 def sweep_table(
     sweep: SweepResult,
     metric: str,
@@ -51,8 +63,8 @@ def sweep_table(
 
     Args:
         sweep: A load or size sweep result.
-        metric: ``"latency"`` (reported in ms) or ``"throughput"``
-            (reported in msgs/s).
+        metric: ``"latency"``, ``"latency_p50"`` or ``"latency_p99"``
+            (reported in ms) or ``"throughput"`` (reported in msgs/s).
         x_label: Header of the swept-parameter column.
         group_sizes: Which n curves to include.
     """
@@ -60,15 +72,23 @@ def sweep_table(
         extract: Callable[[PointSummary], str] = lambda p: _format_ci(
             p.latency, 1e3, 2
         )
+    elif metric == "latency_p50":
+        extract = lambda p: _format_ci(p.latency_p50, 1e3, 2)
+    elif metric == "latency_p99":
+        extract = lambda p: _format_ci(p.latency_p99, 1e3, 2)
     elif metric == "throughput":
         extract = lambda p: _format_ci(p.throughput, 1.0, 0)
     else:
         raise ValueError(f"unknown metric {metric!r}")
 
+    present = {p.stack for p in sweep.points}
+    ordered = [s for s in TABLE_STACK_ORDER if s in present]
+    ordered += sorted(present - set(TABLE_STACK_ORDER), key=lambda s: s.value)
+
     headers = [x_label]
     curves = []
     for n in group_sizes:
-        for stack in (StackKind.MONOLITHIC, StackKind.MODULAR):
+        for stack in ordered:
             series = sweep.series(n, stack)
             if series:
                 headers.append(f"n={n} {stack.value}")

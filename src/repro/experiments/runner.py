@@ -57,6 +57,17 @@ class RunResult:
     events_executed: int
 
     @property
+    def latency_p50(self) -> float:
+        """Median delivery latency over the measurement window."""
+        return self.metrics.latency_p50
+
+    @property
+    def latency_p99(self) -> float:
+        """99th-percentile delivery latency over the measurement window
+        (the tail a batching layer trades against throughput)."""
+        return self.metrics.latency_p99
+
+    @property
     def messages_per_consensus(self) -> float | None:
         """Mean network messages per consensus in the window (§5.2.1)."""
         if self.instances_decided == 0:

@@ -41,6 +41,9 @@ class PointSummary:
     #: The swept parameter's value (offered load or message size).
     x: float
     latency: ConfidenceInterval
+    #: Percentile latencies (ensemble CI over per-run percentiles).
+    latency_p50: ConfidenceInterval
+    latency_p99: ConfidenceInterval
     throughput: ConfidenceInterval
     #: Measured messages ordered per consensus (paper's M), ensemble mean.
     delivered_per_consensus: float | None
@@ -76,6 +79,12 @@ def summarize_point(
     latencies = [
         r.metrics.latency_mean for r in runs if r.metrics.latency_mean is not None
     ]
+    p50s = [
+        r.metrics.latency_p50 for r in runs if r.metrics.latency_p50 is not None
+    ]
+    p99s = [
+        r.metrics.latency_p99 for r in runs if r.metrics.latency_p99 is not None
+    ]
     throughputs = [r.metrics.throughput for r in runs]
     batch_sizes = [
         r.delivered_per_consensus
@@ -87,6 +96,8 @@ def summarize_point(
         stack=stack,
         x=x,
         latency=mean_confidence_interval(latencies or [float("nan")]),
+        latency_p50=mean_confidence_interval(p50s or [float("nan")]),
+        latency_p99=mean_confidence_interval(p99s or [float("nan")]),
         throughput=mean_confidence_interval(throughputs),
         delivered_per_consensus=(
             sum(batch_sizes) / len(batch_sizes) if batch_sizes else None

@@ -151,18 +151,23 @@ class LiveRuntime:
 
         Part of the rejoin protocol (see PROTOCOLS.md): after a
         restarted worker re-applied its WAL prefix and state-transferred
-        the remainder, the top module must skip the *delivered* message
-        ids and participate from consensus instance *next_instance* on.
-        Raises for stacks without recovery support (the sequencer is
-        good-run-only by design).
+        the remainder, the stack must skip the *delivered* message ids
+        and participate from ordering position *next_instance* on. The
+        top module is required to support recovery (the sequencer is
+        good-run-only by design and raises here); every lower module
+        that also defines ``resume_at`` is fast-forwarded too — the ring
+        stack's proposer and acceptor share the learner's consensus
+        instance numbering, so the same position applies stack-wide.
         """
         top = self._modules[0]
-        resume = getattr(top, "resume_at", None)
-        if resume is None:
+        if getattr(top, "resume_at", None) is None:
             raise ProtocolError(
                 f"stack module {top.name!r} does not support crash recovery"
             )
-        resume(next_instance, delivered)
+        for module in self._modules:
+            resume = getattr(module, "resume_at", None)
+            if resume is not None:
+                resume(next_instance, delivered)
 
     # ------------------------------------------------------------------
     # Application entry points

@@ -26,7 +26,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.config import (
-    ConsensusVariant,
+    STACK_REGISTRY,
     FailureDetectorConfig,
     FailureDetectorKind,
     FaultloadConfig,
@@ -82,31 +82,31 @@ class StackSpec:
     factory: Callable | None = None
 
 
-#: Every stack the swarm knows how to drive.
-STACKS: dict[str, StackSpec] = {
-    "modular": StackSpec(
-        "modular",
-        StackConfig(kind=StackKind.MODULAR, consensus=ConsensusVariant.OPTIMIZED),
-    ),
-    "monolithic": StackSpec(
-        "monolithic", StackConfig(kind=StackKind.MONOLITHIC)
-    ),
-    "indirect": StackSpec(
-        "indirect",
-        StackConfig(kind=StackKind.MODULAR, consensus=ConsensusVariant.INDIRECT),
-    ),
-    "sequencer": StackSpec(
-        "sequencer", StackConfig(kind=StackKind.SEQUENCER), benign_only=True
-    ),
-    # Test fixture with a seeded total-order bug; never part of the
-    # default sweep (see repro.nemesis.broken).
-    "broken": StackSpec(
-        "broken", StackConfig(kind=StackKind.MONOLITHIC), factory=broken_stack_factory
-    ),
-}
+#: Stacks whose generated schedules are restricted to delay spikes: the
+#: sequencer family is good-run-only by design (no tolerance for
+#: crashes or suspicions), with or without a batching layer on top.
+BENIGN_ONLY_LABELS = frozenset({"sequencer", "batched-sequencer"})
 
-#: The three fault-tolerant stacks every sweep covers by default.
-DEFAULT_STACKS = ("modular", "monolithic", "indirect")
+#: Every stack the swarm knows how to drive — one row per registered
+#: stack label (see :data:`repro.config.STACK_REGISTRY`, so a newly
+#: registered stack joins the swarm automatically), plus the ``broken``
+#: test fixture with a seeded total-order bug; the fixture is never part
+#: of the default sweep (see repro.nemesis.broken).
+STACKS: dict[str, StackSpec] = {
+    label: StackSpec(label, config, benign_only=label in BENIGN_ONLY_LABELS)
+    for label, config in STACK_REGISTRY.items()
+}
+STACKS["broken"] = StackSpec(
+    "broken", StackConfig(kind=StackKind.MONOLITHIC), factory=broken_stack_factory
+)
+
+#: The fault-tolerant stacks every sweep covers by default (everything
+#: registered except the benign-only sequencer family and the fixture).
+DEFAULT_STACKS = tuple(
+    label
+    for label, spec in STACKS.items()
+    if not spec.benign_only and spec.factory is None
+)
 
 
 @dataclass(frozen=True, slots=True)

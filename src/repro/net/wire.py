@@ -90,6 +90,7 @@ def _ensure_payloads() -> None:
         wire_payload(core)
     import repro.abcast.indirect  # noqa: F401  (registers IdBatch)
     import repro.abcast.messages  # noqa: F401
+    import repro.abcast.ringpaxos  # noqa: F401  (registers RingToken)
     import repro.abcast.sequencer  # noqa: F401  (registers Sequenced)
     import repro.broadcast.reliable  # noqa: F401  (registers RbMessage)
     import repro.consensus.messages  # noqa: F401

@@ -89,7 +89,9 @@ def assert_single_sender_order(log: dict[int, list[MessageId]], n: int) -> None:
         )
 
 
-@pytest.mark.parametrize("stack", ["monolithic", "modular"])
+@pytest.mark.parametrize(
+    "stack", ["monolithic", "modular", "ringpaxos", "batched-sequencer"]
+)
 def test_delivery_order_conforms(stack):
     """Identical single-sender delivery order in both execution modes."""
     live_result, live_log = run_live_logged(stack)

@@ -27,8 +27,16 @@ from repro.experiments.runner import Simulation
 from repro.nemesis.invariants import InvariantMonitor
 from repro.nemesis.swarm import STACKS, build_config, generate_case
 
-#: All four stacks of the paper's evaluation (plus none of the fixtures).
-ALL_STACKS = ("modular", "monolithic", "indirect", "sequencer")
+#: All four stacks of the paper's evaluation plus the high-throughput
+#: extension stacks (and none of the fixtures).
+ALL_STACKS = (
+    "modular",
+    "monolithic",
+    "indirect",
+    "sequencer",
+    "ringpaxos",
+    "batched-sequencer",
+)
 
 #: Short run shape: enough traffic for real batching, fast enough for CI.
 RUN_WARMUP = 0.1
@@ -104,7 +112,7 @@ def test_total_order_holds_fault_free(stack, seed, n, load, size, arrival):
 
 @settings(max_examples=10, deadline=None)
 @given(
-    stack=st.sampled_from(("modular", "monolithic", "indirect")),
+    stack=st.sampled_from(("modular", "monolithic", "indirect", "ringpaxos")),
     seed=SEEDS,
 )
 def test_total_order_holds_under_fault_schedules(stack, seed):

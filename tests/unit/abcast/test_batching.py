@@ -1,0 +1,178 @@
+"""Unit tests for the distillation (batching) layer's edge cases."""
+
+from repro.abcast.batching import (
+    PARCEL_HEADER,
+    PARCEL_SEQ_BASE,
+    DistillationLayer,
+    is_parcel,
+)
+from repro.config import BatchingConfig
+from repro.stack.actions import CancelTimer, StartTimer
+from repro.stack.events import AbcastRequest, AdeliverIndication
+
+from tests.conftest import app_message, emitted_down, emitted_up, make_ctx
+
+
+def make_layer(max_messages=3, flush_interval=0.01, pid=0):
+    config = BatchingConfig(max_messages=max_messages, flush_interval=flush_interval)
+    return DistillationLayer(make_ctx(pid=pid), config)
+
+
+def submitted(layer, message):
+    return layer.handle_event(AbcastRequest(message))
+
+
+def sealed_parcels(actions):
+    return [e.message for e in emitted_down(actions, AbcastRequest)]
+
+
+def delivered_ids(actions):
+    return [e.message.msg_id for e in emitted_up(actions, AdeliverIndication)]
+
+
+# -- sealing triggers --------------------------------------------------------
+
+
+def test_first_submission_arms_the_flush_timer():
+    layer = make_layer()
+    actions = submitted(layer, app_message(sender=0))
+    (timer,) = [a for a in actions if isinstance(a, StartTimer)]
+    assert timer.name == "flush" and timer.delay == 0.01
+    assert not sealed_parcels(actions)  # buffered, not yet sealed
+    # The second submission neither seals nor re-arms.
+    assert submitted(layer, app_message(sender=0)) == []
+
+
+def test_timer_flush_seals_whatever_is_buffered():
+    layer = make_layer(max_messages=100)
+    m1, m2 = app_message(sender=0), app_message(sender=0)
+    submitted(layer, m1)
+    submitted(layer, m2)
+    (parcel,) = sealed_parcels(layer.handle_timer("flush", None))
+    assert is_parcel(parcel)
+    assert parcel.payload == (m1, m2)
+
+
+def test_empty_flush_on_timer_is_a_no_op():
+    """The timer raced with a size-triggered seal: nothing to flush."""
+    layer = make_layer()
+    assert layer.handle_timer("flush", None) == []
+    assert layer.unordered_count == 0
+
+
+def test_max_batch_size_boundary_seals_and_cancels_the_timer():
+    layer = make_layer(max_messages=3)
+    parts = [app_message(sender=0) for __ in range(3)]
+    submitted(layer, parts[0])
+    submitted(layer, parts[1])
+    actions = submitted(layer, parts[2])  # exactly max_messages: seal now
+    assert any(isinstance(a, CancelTimer) and a.name == "flush" for a in actions)
+    (parcel,) = sealed_parcels(actions)
+    assert parcel.payload == tuple(parts)
+    # The boundary is exact: the next submission starts a fresh parcel.
+    next_actions = submitted(layer, app_message(sender=0))
+    assert not sealed_parcels(next_actions)
+    assert any(isinstance(a, StartTimer) for a in next_actions)
+
+
+def test_parcel_framing_and_identity():
+    layer = make_layer(max_messages=2, pid=4)
+    m1 = app_message(sender=4, size=100)
+    m2 = app_message(sender=4, size=250)
+    submitted(layer, m1)
+    (parcel,) = sealed_parcels(submitted(layer, m2))
+    assert parcel.msg_id.sender == 4
+    assert parcel.msg_id.seq == PARCEL_SEQ_BASE
+    assert parcel.size == 100 + 250 + 2 * PARCEL_HEADER
+    assert is_parcel(parcel) and not is_parcel(m1)
+    # Successive parcels get successive sequence numbers.
+    submitted(layer, app_message(sender=4))
+    (second,) = sealed_parcels(submitted(layer, app_message(sender=4)))
+    assert second.msg_id.seq == PARCEL_SEQ_BASE + 1
+
+
+# -- unbatching --------------------------------------------------------------
+
+
+def test_unbatch_order_is_the_batched_order():
+    """Delivered unbatched order == the order the sender batched, even
+    when that differs from canonical MessageId order."""
+    layer = make_layer(max_messages=3)
+    sender = make_layer(max_messages=3, pid=1)
+    parts = [app_message(sender=2), app_message(sender=0), app_message(sender=1)]
+    for part in parts:
+        actions = submitted(sender, part)
+    (parcel,) = sealed_parcels(actions)
+    assert delivered_ids(layer.handle_event(AdeliverIndication(parcel))) == [
+        p.msg_id for p in parts
+    ]
+
+
+def test_metrics_attribution_is_from_submission_not_seal():
+    """The original message objects ride through the parcel untouched,
+    so their abcast_time (the latency clock's t0) is the submission
+    instant — sealing later must not rewrite it."""
+    from repro.types import AppMessage, MessageId
+
+    layer = make_layer(max_messages=2)
+    early = AppMessage(msg_id=MessageId(0, 1), size=64, abcast_time=1.0)
+    late = AppMessage(msg_id=MessageId(0, 2), size=64, abcast_time=2.5)
+    submitted(layer, early)
+    (parcel,) = sealed_parcels(submitted(layer, late))
+    assert parcel.abcast_time == 1.0  # parcel inherits the oldest t0
+    out = [
+        e.message for e in emitted_up(
+            layer.handle_event(AdeliverIndication(parcel)), AdeliverIndication
+        )
+    ]
+    assert out[0] is early and out[1] is late  # identity, not copies
+    assert [m.abcast_time for m in out] == [1.0, 2.5]
+
+
+def test_duplicate_parcels_deliver_once():
+    layer = make_layer(max_messages=2)
+    submitted(layer, app_message(sender=0))
+    (parcel,) = sealed_parcels(submitted(layer, app_message(sender=0)))
+    first = delivered_ids(layer.handle_event(AdeliverIndication(parcel)))
+    assert len(first) == 2
+    assert layer.handle_event(AdeliverIndication(parcel)) == []
+
+
+def test_bare_messages_pass_through():
+    """A peer without a batching layer delivered an unbatched message."""
+    layer = make_layer()
+    m = app_message(sender=1)
+    assert delivered_ids(layer.handle_event(AdeliverIndication(m))) == [m.msg_id]
+
+
+# -- introspection and recovery ---------------------------------------------
+
+
+def test_progress_and_backpressure_probes():
+    layer = make_layer(max_messages=2)
+    assert layer.next_instance == 0
+    m1, m2 = app_message(sender=0), app_message(sender=0)
+    submitted(layer, m1)
+    assert layer.unordered_count == 1  # buffered and outstanding
+    (parcel,) = sealed_parcels(submitted(layer, m2))
+    assert layer.unordered_count == 2  # sealed but still in flight
+    layer.handle_event(AdeliverIndication(parcel))
+    assert layer.unordered_count == 0
+    assert layer.next_instance == 1  # one parcel unbatched
+
+
+def test_resume_at_never_reuses_parcel_ids_or_redelivers():
+    layer = make_layer(max_messages=2)
+    recovered = app_message(sender=0)
+    layer.resume_at(3, {recovered.msg_id})
+    assert layer.next_instance == 3
+    # A replayed pre-crash part is suppressed; fresh parts still flow.
+    fresh = app_message(sender=1)
+    assert delivered_ids(layer.handle_event(AdeliverIndication(recovered))) == []
+    assert delivered_ids(layer.handle_event(AdeliverIndication(fresh))) == [
+        fresh.msg_id
+    ]
+    # Newly sealed parcels number above the recovered count.
+    submitted(layer, app_message(sender=0))
+    (parcel,) = sealed_parcels(submitted(layer, app_message(sender=0)))
+    assert parcel.msg_id.seq == PARCEL_SEQ_BASE + 3

@@ -66,3 +66,63 @@ def test_optimization_flags_propagated():
     opts = MonolithicOptimizations(False, True, False)
     modules = build_stack(monolithic_stack(opts), make_ctx())
     assert modules[0].opts is opts
+
+
+def test_ringpaxos_stack_has_the_three_paxos_roles_in_order():
+    from repro.abcast.ringpaxos import RingAcceptor, RingLearner, RingProposer
+
+    config = StackConfig(kind=StackKind.RINGPAXOS, guard_timeout=0.75)
+    modules = build_stack(config, make_ctx(), max_batch=11)
+    assert [type(m) for m in modules] == [RingLearner, RingProposer, RingAcceptor]
+    assert modules[1].guard_timeout == 0.75
+    assert modules[1].max_batch == 11
+
+
+def test_batched_sequencer_is_distillation_over_the_sequencer():
+    from repro.abcast.batching import DistillationLayer
+    from repro.abcast.sequencer import SequencerAtomicBroadcast
+    from repro.config import BatchingConfig
+
+    config = StackConfig(kind=StackKind.BATCHED_SEQUENCER)
+    modules = build_stack(config, make_ctx())
+    assert [type(m) for m in modules] == [
+        DistillationLayer,
+        SequencerAtomicBroadcast,
+    ]
+    assert modules[0].config == BatchingConfig()  # default knobs implied
+
+
+def test_explicit_batching_knobs_reach_the_layer():
+    from repro.abcast.batching import DistillationLayer
+    from repro.config import BatchingConfig
+
+    knobs = BatchingConfig(max_messages=8, flush_interval=0.001)
+    config = StackConfig(kind=StackKind.BATCHED_SEQUENCER, batching=knobs)
+    modules = build_stack(config, make_ctx())
+    assert isinstance(modules[0], DistillationLayer)
+    assert modules[0].config is knobs
+
+
+def test_batching_composes_over_any_stack():
+    from repro.abcast.batching import DistillationLayer
+    from repro.config import BatchingConfig
+
+    config = StackConfig(kind=StackKind.MODULAR, batching=BatchingConfig())
+    modules = build_stack(config, make_ctx())
+    assert isinstance(modules[0], DistillationLayer)
+    assert len(modules) == 4  # distill over the full modular stack
+
+
+def test_unknown_stack_kind_lists_the_registry():
+    from dataclasses import replace
+
+    import pytest
+
+    from repro.errors import ConfigurationError
+
+    class Bogus:
+        value = "bogus"
+
+    broken = replace(StackConfig(), kind=Bogus())
+    with pytest.raises(ConfigurationError, match="registered stacks"):
+        build_stack(broken, make_ctx())

@@ -13,13 +13,13 @@ class FakeReport:
 def test_figure_command_routes_to_driver(monkeypatch, capsys):
     calls = {}
 
-    def fake_figure8(*, fast, seeds, jobs):
-        calls["args"] = (fast, seeds, jobs)
+    def fake_figure8(*, fast, seeds, jobs, stacks):
+        calls["args"] = (fast, seeds, jobs, stacks)
         return FakeReport()
 
     monkeypatch.setattr(cli, "figure8", fake_figure8)
     assert cli.main(["figure8", "--fast"]) == 0
-    assert calls["args"] == (True, None, 1)
+    assert calls["args"] == (True, None, 1, None)
     assert "FAKE FIGURE REPORT" in capsys.readouterr().out
 
 
@@ -28,7 +28,7 @@ def test_seeds_flag_builds_seed_tuple(monkeypatch):
     monkeypatch.setattr(
         cli,
         "figure9",
-        lambda *, fast, seeds, jobs: seen.update(seeds=seeds) or FakeReport(),
+        lambda *, fast, seeds, jobs, stacks: seen.update(seeds=seeds) or FakeReport(),
     )
     cli.main(["figure9", "--seeds", "4"])
     assert seen["seeds"] == (1, 2, 3, 4)
@@ -36,7 +36,7 @@ def test_seeds_flag_builds_seed_tuple(monkeypatch):
 
 def test_figures_command_prints_all(monkeypatch, capsys):
     monkeypatch.setattr(
-        cli, "all_figures", lambda *, fast, seeds, jobs: [FakeReport(), FakeReport()]
+        cli, "all_figures", lambda *, fast, seeds, jobs, stacks: [FakeReport(), FakeReport()]
     )
     cli.main(["figures", "--fast"])
     assert capsys.readouterr().out.count("FAKE FIGURE REPORT") == 2
@@ -72,7 +72,7 @@ def test_predict_command_prints_table(capsys):
 def test_repro_errors_exit_with_usage_message(monkeypatch, capsys):
     from repro.errors import ConfigurationError
 
-    def boom(*, fast, seeds, jobs):
+    def boom(*, fast, seeds, jobs, stacks):
         raise ConfigurationError("synthetic config problem")
 
     monkeypatch.setattr(cli, "figure8", boom)
@@ -87,6 +87,24 @@ def test_nemesis_unknown_stack_label_is_a_clean_error(capsys):
     assert cli.main(["nemesis", "--stacks", "no-such-stack"]) == 2
     err = capsys.readouterr().err
     assert "error:" in err and "no-such-stack" in err
+
+
+def test_sweep_unknown_stack_label_lists_the_registry(capsys):
+    from repro.config import STACK_LABELS
+
+    assert cli.main(["sweep", "--fast", "--stacks", "no-such-stack"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "no-such-stack" in err
+    # The sorted registry is the error's fix-it hint.
+    for label in STACK_LABELS:
+        assert label in err
+
+
+def test_sweep_rejects_non_kind_pure_stack_labels(capsys):
+    # "indirect" is modular-with-a-variant, not a plain StackKind; the
+    # sweep grid is keyed by kind, so it cannot appear there.
+    assert cli.main(["sweep", "--fast", "--stacks", "indirect"]) == 2
+    assert "not sweepable" in capsys.readouterr().err
 
 
 def test_nemesis_unknown_faultload_file_is_a_clean_error(capsys):
@@ -172,7 +190,7 @@ def test_csv_flag_writes_figure_data(monkeypatch, tmp_path, capsys):
         base=RunConfig(duration=0.3, warmup=0.15),
     )
     monkeypatch.setattr(
-        cli, "figure8", lambda *, fast, seeds, jobs: figure8(sweep)
+        cli, "figure8", lambda *, fast, seeds, jobs, stacks: figure8(sweep)
     )
     cli.main(["figure8", "--csv", str(tmp_path)])
     target = tmp_path / "figure8.csv"

@@ -16,6 +16,8 @@ def point(n, stack, x, latency, throughput):
         stack=stack,
         x=x,
         latency=ci(latency),
+        latency_p50=ci(latency),
+        latency_p99=ci(latency),
         throughput=ci(throughput),
         delivered_per_consensus=4.0,
         stationary=True,

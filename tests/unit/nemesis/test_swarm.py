@@ -98,10 +98,15 @@ def test_unknown_stack_is_rejected():
         generate_case("bogus", 1)
 
 
-def test_default_sweep_covers_the_three_fault_tolerant_stacks():
-    assert DEFAULT_STACKS == ("modular", "monolithic", "indirect")
+def test_default_sweep_covers_the_fault_tolerant_stacks():
+    assert DEFAULT_STACKS == ("modular", "monolithic", "indirect", "ringpaxos")
     assert set(DEFAULT_STACKS) <= set(STACKS)
     assert "broken" not in DEFAULT_STACKS
+    # The sequencer family is good-run-only and must stay out of the
+    # crash/suspicion sweep (but stays reachable via --stacks).
+    assert "sequencer" not in DEFAULT_STACKS
+    assert "batched-sequencer" not in DEFAULT_STACKS
+    assert STACKS["batched-sequencer"].benign_only
 
 
 def test_case_json_round_trip(tmp_path):
