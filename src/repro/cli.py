@@ -12,8 +12,15 @@ Usage::
     python -m repro ablation           # per-optimization ablation (§4)
     python -m repro predict            # design-time performance prediction
     python -m repro all                # everything above
+    python -m repro latencydist        # latency-distribution histogram figure
     python -m repro nemesis            # adversarial sweep (see below)
     python -m repro live               # run a stack over real TCP (see below)
+
+``--clients N --zipf S --client-arrival {poisson,bursty,diurnal}``
+attach a lazy client-population model (N logical clients, Zipf(S)
+activity skew, the chosen aggregate arrival law) to the workload of the
+``sweep``, ``latencydist`` and ``live`` commands; see
+:mod:`repro.workload.population`.
 
 ``--fast`` uses a reduced grid and a single seed (seconds instead of
 minutes); ``--seeds N`` controls the ensemble size; ``--csv DIR`` also
@@ -64,7 +71,16 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.performance_model import predict_gap
-from repro.config import STACK_LABELS, StackConfig, StackKind, stack_from_label
+from repro.config import (
+    STACK_LABELS,
+    ClientArrival,
+    ClientPopulationConfig,
+    RunConfig,
+    StackConfig,
+    StackKind,
+    WorkloadConfig,
+    stack_from_label,
+)
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.ablation import ablation_table, run_ablation
 from repro.experiments.export import write_sweep_csv, write_sweeps_json
@@ -78,6 +94,7 @@ from repro.experiments.figures import (
     figure9,
     figure10,
     figure11,
+    latency_distribution,
 )
 from repro.experiments.report import format_table, sweep_table
 from repro.experiments.sweeps import (
@@ -102,6 +119,7 @@ COMMANDS = (
     "ablation",
     "predict",
     "all",
+    "latencydist",
     "nemesis",
     "live",
 )
@@ -187,6 +205,30 @@ def _build_parser() -> argparse.ArgumentParser:
             "paper's modular+monolithic for sweeps and figures, "
             f"{','.join(nemesis_swarm.DEFAULT_STACKS)} for nemesis)"
         ),
+    )
+    population = parser.add_argument_group("client population options")
+    population.add_argument(
+        "--clients",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "attach a lazy client-population model of N logical clients "
+            "to the workload (sweep/latencydist/live commands)"
+        ),
+    )
+    population.add_argument(
+        "--zipf",
+        type=float,
+        default=None,
+        metavar="S",
+        help="Zipf activity-skew exponent of the population (default: 1.1)",
+    )
+    population.add_argument(
+        "--client-arrival",
+        choices=tuple(arrival.value for arrival in ClientArrival),
+        default=None,
+        help="aggregate arrival law of the population (default: poisson)",
     )
     nemesis = parser.add_argument_group("nemesis options")
     nemesis.add_argument(
@@ -449,6 +491,11 @@ def _live_summary(result: dict) -> str:
         ["net messages sent", str(result["network"].get("messages_sent", 0))],
         ["blocked attempts", str(metrics["blocked_attempts"])],
     ]
+    p999 = metrics.get("latency_p999")
+    if p999 is not None:
+        rows.insert(3, ["latency p999 (ms)", f"{p999 * 1e3:.2f}"])
+    if metrics.get("active_clients"):
+        rows.append(["active logical clients", str(metrics["active_clients"])])
     title = (
         f"live run: stack={config['stack']} n={config['n']} "
         f"load={config['load']:g} size={config['message_size']} "
@@ -461,6 +508,7 @@ def _run_live(args: argparse.Namespace) -> int:
     from repro.live.compare import comparison_table, run_comparison
     from repro.live.deploy import LiveSpec, run_live
 
+    population = _population(args)
     spec = LiveSpec(
         n=args.n,
         stack=args.stack,
@@ -468,6 +516,11 @@ def _run_live(args: argparse.Namespace) -> int:
         size=args.size,
         duration=args.duration,
         warmup=args.warmup,
+        clients=population.clients if population is not None else 0,
+        zipf_s=population.zipf_s if population is not None else 1.1,
+        client_arrival=population.arrival.value
+        if population is not None
+        else "poisson",
     )
     if args.compare:
         results = run_comparison(spec)
@@ -536,11 +589,36 @@ def _sweep_stacks(args: argparse.Namespace) -> tuple[StackKind, ...] | None:
     return tuple(kinds)
 
 
+def _population(args: argparse.Namespace) -> ClientPopulationConfig | None:
+    """The client population requested on the command line, if any."""
+    if args.clients is None and args.zipf is None and args.client_arrival is None:
+        return None
+    kwargs: dict = {}
+    if args.clients is not None:
+        kwargs["clients"] = args.clients
+    if args.zipf is not None:
+        kwargs["zipf_s"] = args.zipf
+    if args.client_arrival is not None:
+        kwargs["arrival"] = ClientArrival(args.client_arrival)
+    return ClientPopulationConfig(**kwargs)
+
+
+def _population_base(args: argparse.Namespace) -> RunConfig | None:
+    """A sweep base config carrying the CLI's client population."""
+    population = _population(args)
+    if population is None:
+        return None
+    return RunConfig(workload=WorkloadConfig(population=population))
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     """Run the load and size sweeps without the figure rendering."""
     seeds = _resolved_seeds(args)
     stacks = _sweep_stacks(args)
     stack_kwargs = {} if stacks is None else {"stacks": stacks}
+    base = _population_base(args)
+    if base is not None:
+        stack_kwargs["base"] = base
     load_sweep = run_load_sweep(
         loads=FAST_LOADS if args.fast else PAPER_LOADS,
         seeds=seeds,
@@ -569,6 +647,9 @@ def _run_sweep(args: argparse.Namespace) -> int:
     print("load sweep: delivery latency p99 (ms) by offered load (msgs/s)")
     print(sweep_table(load_sweep, "latency_p99", x_label="load"))
     print()
+    print("load sweep: delivery latency p999 (ms) by offered load (msgs/s)")
+    print(sweep_table(load_sweep, "latency_p999", x_label="load"))
+    print()
     print("load sweep: throughput (msgs/s) by offered load (msgs/s)")
     print(sweep_table(load_sweep, "throughput", x_label="load"))
     print()
@@ -577,6 +658,40 @@ def _run_sweep(args: argparse.Namespace) -> int:
     print()
     print("size sweep: throughput (msgs/s) by message size (bytes)")
     print(sweep_table(size_sweep, "throughput", x_label="size"))
+    return 0
+
+
+def _run_latencydist(args: argparse.Namespace) -> int:
+    """Render the latency-distribution histogram of one sweep point.
+
+    Runs one (n, stack, load) point — ``--n``, ``--stack``, ``--load``
+    from the live option group — with the CLI's client population (a
+    default population when no flags are given; this figure exists to
+    show what a skewed client fleet experiences) and prints the full
+    log-bucketed histogram with p50/p99/p999 markers.
+    """
+    population = _population(args) or ClientPopulationConfig()
+    base = RunConfig(workload=WorkloadConfig(population=population))
+    stack = stack_from_label(args.stack)
+    sweep = run_load_sweep(
+        loads=(args.load,),
+        message_size=args.size,
+        group_sizes=(args.n,),
+        stacks=(stack.kind,),
+        seeds=_resolved_seeds(args),
+        base=base,
+        jobs=args.jobs,
+    )
+    report = latency_distribution(sweep)
+    print(report)
+    point = sweep.points[0]
+    print(
+        f"clients={population.clients} zipf_s={population.zipf_s:g} "
+        f"arrival={population.arrival.value} active="
+        f"{sum(r.metrics.active_clients for r in point.runs)}"
+    )
+    if args.json_out is not None:
+        _export_json({sweep.parameter: sweep}, args.json_out)
     return 0
 
 
@@ -601,6 +716,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_live(args)
     if command == "sweep":
         return _run_sweep(args)
+    if command == "latencydist":
+        return _run_latencydist(args)
     if command in ("figure8", "figure9", "figure10", "figure11"):
         figure_fn = {
             "figure8": figure8,

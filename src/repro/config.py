@@ -72,6 +72,89 @@ class ArrivalProcess(enum.Enum):
     POISSON = "poisson"
 
 
+class ClientArrival(enum.Enum):
+    """Aggregate arrival law of a client population (per process).
+
+    The population model never schedules per-client events; it samples
+    the *aggregate* arrival process of all clients fronted by one
+    process and attributes each arrival to a logical client afterwards
+    (see :mod:`repro.workload.population`).
+    """
+
+    #: Superposition of independent client Poisson streams — itself a
+    #: Poisson process at the aggregate rate.
+    POISSON = "poisson"
+    #: Markov-modulated on/off mix (interrupted Poisson process): the
+    #: aggregate alternates between a silent OFF state and an ON state
+    #: whose rate is scaled up so the configured mean load is preserved.
+    #: Self-similar-ish bursts; index of dispersion > 1.
+    BURSTY = "bursty"
+    #: Diurnal rate ramp: a raised-cosine day/night cycle around the
+    #: configured mean load (non-homogeneous Poisson via thinning).
+    DIURNAL = "diurnal"
+
+
+@dataclass(frozen=True, slots=True)
+class ClientPopulationConfig:
+    """A population of logical clients multiplexed onto the n processes.
+
+    ``clients`` may be 10⁶ and beyond: the model is lazy, costing one
+    kernel event per *arrival*, never per client. Each process fronts
+    ``clients / n`` of the population; per-client activity within a
+    process's pool is Zipf-skewed with exponent :attr:`zipf_s` (0 makes
+    every client equally active). The aggregate offered load stays
+    ``WorkloadConfig.offered_load`` for every arrival law — burstiness
+    and diurnal cycles reshape *when* arrivals happen, not how many.
+    """
+
+    #: Number of logical clients across the whole group.
+    clients: int = 100_000
+    #: Zipf activity-skew exponent s; P(rank r) ∝ r^-s. 0 = uniform.
+    zipf_s: float = 1.1
+    arrival: ClientArrival = ClientArrival.POISSON
+    #: BURSTY: mean seconds of one aggregate ON (sending) period.
+    burst_on: float = 0.05
+    #: BURSTY: mean seconds of one aggregate OFF (silent) period.
+    burst_off: float = 0.15
+    #: DIURNAL: seconds of one simulated day/night cycle.
+    diurnal_period: float = 4.0
+    #: DIURNAL: trough rate as a fraction of the peak rate.
+    diurnal_trough: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigurationError(
+                f"client population must be >= 1: {self.clients}"
+            )
+        if self.zipf_s < 0:
+            raise ConfigurationError(
+                f"zipf exponent must be >= 0: {self.zipf_s}"
+            )
+        if self.burst_on <= 0 or self.burst_off < 0:
+            raise ConfigurationError(
+                "burst_on must be positive and burst_off non-negative: "
+                f"{self.burst_on}, {self.burst_off}"
+            )
+        if self.diurnal_period <= 0:
+            raise ConfigurationError(
+                f"diurnal period must be positive: {self.diurnal_period}"
+            )
+        if not 0 < self.diurnal_trough <= 1:
+            raise ConfigurationError(
+                f"diurnal trough must be in (0, 1]: {self.diurnal_trough}"
+            )
+
+    @property
+    def duty_cycle(self) -> float:
+        """BURSTY: fraction of time the aggregate spends ON."""
+        return self.burst_on / (self.burst_on + self.burst_off)
+
+    def clients_of(self, pid: int, n: int) -> int:
+        """How many logical clients process *pid* fronts in a group of n."""
+        base, extra = divmod(self.clients, n)
+        return base + (1 if pid < extra else 0)
+
+
 class FailureDetectorKind(enum.Enum):
     """Failure detector implementation."""
 
@@ -290,6 +373,11 @@ class WorkloadConfig:
     #: Payload size ``s`` of every abcast message, in bytes.
     message_size: int = 1024
     arrival: ArrivalProcess = ArrivalProcess.UNIFORM
+    #: Optional client-population model. When set, arrivals come from
+    #: the population's aggregate law (:class:`ClientArrival`, which
+    #: overrides :attr:`arrival`) and each is attributed to a logical
+    #: Zipf-skewed client; the offered load is unchanged.
+    population: ClientPopulationConfig | None = None
 
     def __post_init__(self) -> None:
         if self.offered_load <= 0:
@@ -536,6 +624,12 @@ class RunConfig:
                 raise ConfigurationError(
                     f"crash targets unknown process {crash.process} (n={self.n})"
                 )
+        population = self.workload.population
+        if population is not None and population.clients < self.n:
+            raise ConfigurationError(
+                f"client population of {population.clients} cannot cover "
+                f"n={self.n} processes (need at least one client each)"
+            )
         majority_faulty = len(self.faultload.crashed_processes()) >= (self.n + 1) // 2
         if majority_faulty:
             raise ConfigurationError(

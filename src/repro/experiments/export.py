@@ -33,11 +33,16 @@ CSV_FIELDS = (
     "latency_ci95_s",
     "latency_p50_s",
     "latency_p99_s",
+    "latency_p999_s",
     "throughput_mean",
     "throughput_ci95",
     "messages_per_consensus",
     "stationary",
     "seeds",
+    #: The ensemble's merged latency histogram, as space-separated
+    #: ``bucket:count`` pairs (see LatencyHistogram.bucket_bounds for
+    #: the bucket → seconds mapping).
+    "histogram",
 )
 
 
@@ -68,6 +73,9 @@ def write_sweep_csv(sweep: SweepResult, destination: IO[str] | str | Path) -> in
                 f"{point.latency.half_width:.9f}",
                 fmt(point.latency_p50.mean),
                 fmt(point.latency_p99.mean),
+                fmt(point.latency_p999.mean)
+                if point.latency_p999 is not None
+                else "",
                 f"{point.throughput.mean:.3f}",
                 f"{point.throughput.half_width:.3f}",
                 ""
@@ -75,6 +83,7 @@ def write_sweep_csv(sweep: SweepResult, destination: IO[str] | str | Path) -> in
                 else f"{point.delivered_per_consensus:.3f}",
                 int(point.stationary),
                 point.latency.count,
+                " ".join(f"{b}:{c}" for b, c in point.histogram),
             ]
         )
         rows += 1
@@ -110,11 +119,14 @@ def run_to_dict(run: RunResult) -> dict[str, Any]:
             "latency_p50": _finite(metrics.latency_p50),
             "latency_p95": _finite(metrics.latency_p95),
             "latency_p99": _finite(metrics.latency_p99),
+            "latency_p999": _finite(metrics.latency_p999),
             "latency_count": metrics.latency_count,
+            "latency_histogram": [list(pair) for pair in metrics.latency_histogram],
             "throughput": metrics.throughput,
             "offered_rate": metrics.offered_rate,
             "blocked_attempts": metrics.blocked_attempts,
             "stationary": metrics.stationary,
+            "active_clients": metrics.active_clients,
         },
         "network": {key: run.network[key] for key in sorted(run.network)},
         "cpu_utilization": list(run.cpu_utilization),
@@ -132,6 +144,10 @@ def point_to_dict(point: PointSummary) -> dict[str, Any]:
         "latency": _ci_to_dict(point.latency),
         "latency_p50": _ci_to_dict(point.latency_p50),
         "latency_p99": _ci_to_dict(point.latency_p99),
+        "latency_p999": _ci_to_dict(point.latency_p999)
+        if point.latency_p999 is not None
+        else None,
+        "histogram": [list(pair) for pair in point.histogram],
         "throughput": _ci_to_dict(point.throughput),
         "delivered_per_consensus": _finite(point.delivered_per_consensus),
         "stationary": point.stationary,

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import StackKind
-from repro.experiments.report import gap_summary, sweep_table
+from repro.experiments.report import gap_summary, histogram_table, sweep_table
 from repro.experiments.sweeps import (
     DEFAULT_SEEDS,
     PAPER_LOADS,
@@ -175,6 +175,47 @@ def figure11(
         sweep=sweep,
         table=sweep_table(sweep, "throughput", x_label="size"),
         headlines=_gap_headlines(sweep, "throughput", (small, large)),
+    )
+
+
+def latency_distribution(
+    sweep: SweepResult,
+    *,
+    n: int | None = None,
+    stack: StackKind | None = None,
+    x: float | None = None,
+) -> FigureReport:
+    """Latency-distribution figure: the full per-point histogram.
+
+    Unlike Figs. 8–11 (one scalar per point), this renders the merged
+    log-bucketed latency histogram of one sweep point — the shape a
+    million-client population actually experiences, p999 included. The
+    point defaults to the highest-x point of the first (n, stack) curve
+    present; pass *n*, *stack* and *x* to select another.
+    """
+    if not sweep.points:
+        raise ValueError("latency distribution of an empty sweep")
+    candidates = [
+        p
+        for p in sweep.points
+        if (n is None or p.n == n)
+        and (stack is None or p.stack == stack)
+        and (x is None or p.x == x)
+    ]
+    if not candidates:
+        raise KeyError(
+            f"no sweep point matches (n={n}, stack={stack}, x={x})"
+        )
+    point = max(candidates, key=lambda p: (p.x, p.n, p.stack.value))
+    return FigureReport(
+        figure="Latency distribution",
+        title=(
+            f"early-latency histogram, n={point.n} {point.stack.value} "
+            f"{sweep.parameter}={point.x:g}"
+        ),
+        sweep=sweep,
+        table=histogram_table(point.merged_histogram()),
+        headlines=(),
     )
 
 

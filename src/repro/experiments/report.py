@@ -12,7 +12,7 @@ from typing import Callable, Sequence
 
 from repro.config import StackKind
 from repro.experiments.sweeps import PointSummary, SweepResult
-from repro.metrics.stats import ConfidenceInterval
+from repro.metrics.stats import ConfidenceInterval, LatencyHistogram
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -63,8 +63,9 @@ def sweep_table(
 
     Args:
         sweep: A load or size sweep result.
-        metric: ``"latency"``, ``"latency_p50"`` or ``"latency_p99"``
-            (reported in ms) or ``"throughput"`` (reported in msgs/s).
+        metric: ``"latency"``, ``"latency_p50"``, ``"latency_p99"`` or
+            ``"latency_p999"`` (reported in ms) or ``"throughput"``
+            (reported in msgs/s).
         x_label: Header of the swept-parameter column.
         group_sizes: Which n curves to include.
     """
@@ -76,6 +77,10 @@ def sweep_table(
         extract = lambda p: _format_ci(p.latency_p50, 1e3, 2)
     elif metric == "latency_p99":
         extract = lambda p: _format_ci(p.latency_p99, 1e3, 2)
+    elif metric == "latency_p999":
+        extract = lambda p: (
+            _format_ci(p.latency_p999, 1e3, 2) if p.latency_p999 else "n/a"
+        )
     elif metric == "throughput":
         extract = lambda p: _format_ci(p.throughput, 1.0, 0)
     else:
@@ -102,6 +107,33 @@ def sweep_table(
             row.append(extract(point) if point is not None else "-")
         rows.append(row)
     return format_table(headers, rows)
+
+
+def histogram_table(
+    histogram: "LatencyHistogram", *, width: int = 40
+) -> str:
+    """Render one latency distribution as an aligned text histogram.
+
+    One row per occupied log-bucket: the bucket's latency range in ms,
+    the sample count, and a bar scaled so the fullest bucket spans
+    *width* characters. Percentile markers (p50/p99/p999) are appended
+    under the table.
+    """
+    pairs = histogram.counts()
+    if not pairs:
+        return "(no latency samples)"
+    peak = max(count for _, count in pairs)
+    rows = []
+    for index, count in pairs:
+        low, high = LatencyHistogram.bucket_bounds(index)
+        bar = "#" * max(1, round(width * count / peak))
+        rows.append([f"{low * 1e3:.3f}-{high * 1e3:.3f}", str(count), bar])
+    table = format_table(["latency (ms)", "count", "distribution"], rows)
+    marks = "  ".join(
+        f"{name}={histogram.percentile(q) * 1e3:.2f}ms"
+        for name, q in (("p50", 0.50), ("p99", 0.99), ("p999", 0.999))
+    )
+    return f"{table}\n{marks}"
 
 
 def gap_summary(sweep: SweepResult, metric: str, x: float, n: int) -> str:

@@ -34,6 +34,7 @@ from repro.sim.tracing import TraceRecorder
 from repro.stack.runtime import AdeliverListener, ProcessRuntime
 from repro.types import AppMessage, SimTime
 from repro.workload.generator import ArrivalSchedule, FlowControlledSender
+from repro.workload.population import ClientPopulation
 
 #: Simulated seconds the kernel keeps running after the measurement
 #: window closes, so in-flight messages finish delivering.
@@ -138,6 +139,13 @@ class Simulation:
             runtime = self._build_process(pid)
             self.runtimes.append(runtime)
 
+        #: Lazy client-population model, when one is configured.
+        self.population: ClientPopulation | None = None
+        if with_workload and config.workload.population is not None:
+            self.population = ClientPopulation(
+                config.workload.population, config.n, self.kernel.rng.stream
+            )
+
         self.senders: list[FlowControlledSender] = []
         self.schedules: list[ArrivalSchedule] = []
         for pid in range(config.n):
@@ -158,6 +166,9 @@ class Simulation:
                         config.n,
                         stop_at=config.total_time,
                         rng_name=f"workload.p{pid}",
+                        on_arrival=self.population.arrival_hook(pid)
+                        if self.population is not None
+                        else None,
                     )
                 )
 
@@ -309,7 +320,12 @@ class Simulation:
         for schedule in self.schedules:
             schedule.finalize()
         blocked = sum(sender.window.total_blocked for sender in self.senders)
-        metrics = self.metrics.finalize(blocked_attempts=blocked)
+        metrics = self.metrics.finalize(
+            blocked_attempts=blocked,
+            active_clients=self.population.active_clients
+            if self.population is not None
+            else 0,
+        )
         if not metrics.stationary:
             warnings.warn(
                 f"run (n={self.config.n}, {self.config.stack.kind.value}, "

@@ -14,9 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.config import RunConfig, StackConfig, StackKind, WorkloadConfig
+from repro.errors import ConfigurationError
 from repro.experiments.parallel import run_simulations
 from repro.experiments.runner import RunResult, run_simulation
-from repro.metrics.stats import ConfidenceInterval, mean_confidence_interval
+from repro.metrics.stats import (
+    ConfidenceInterval,
+    LatencyHistogram,
+    mean_confidence_interval,
+)
 
 #: Offered loads of the paper's load sweeps (msgs/s), Figs. 8 and 10.
 PAPER_LOADS = (250, 500, 1000, 2000, 3000, 4000, 5000, 6000, 7000)
@@ -50,6 +55,15 @@ class PointSummary:
     #: Whether every seed's run passed the stationarity check.
     stationary: bool
     runs: tuple[RunResult, ...]
+    #: Tail latency p999 (ensemble CI over per-run histogram p999s).
+    latency_p999: ConfidenceInterval | None = None
+    #: The seed ensemble's merged latency histogram as sorted
+    #: ``(bucket, count)`` pairs — the full distribution behind p999.
+    histogram: tuple[tuple[int, int], ...] = ()
+
+    def merged_histogram(self) -> LatencyHistogram:
+        """The ensemble's latency distribution as a live histogram."""
+        return LatencyHistogram.from_counts(self.histogram)
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,6 +99,12 @@ def summarize_point(
     p99s = [
         r.metrics.latency_p99 for r in runs if r.metrics.latency_p99 is not None
     ]
+    p999s = [
+        r.metrics.latency_p999 for r in runs if r.metrics.latency_p999 is not None
+    ]
+    merged = LatencyHistogram()
+    for r in runs:
+        merged = merged.merge(r.metrics.histogram())
     throughputs = [r.metrics.throughput for r in runs]
     batch_sizes = [
         r.delivered_per_consensus
@@ -104,6 +124,8 @@ def summarize_point(
         ),
         stationary=all(r.metrics.stationary for r in runs),
         runs=tuple(runs),
+        latency_p999=mean_confidence_interval(p999s or [float("nan")]),
+        histogram=merged.counts(),
     )
 
 
@@ -159,8 +181,13 @@ def run_load_sweep(
     for n in group_sizes:
         for stack in stacks:
             for load in loads:
-                workload = WorkloadConfig(
-                    offered_load=float(load), message_size=message_size
+                # replace() on the base workload keeps its other
+                # dimensions — arrival law, client population — so a
+                # populated base sweeps the population across loads.
+                workload = replace(
+                    base.workload,
+                    offered_load=float(load),
+                    message_size=message_size,
                 )
                 config = base.with_changes(
                     n=n, stack=replace(base.stack, kind=stack), workload=workload
@@ -169,6 +196,49 @@ def run_load_sweep(
     return SweepResult(
         parameter="offered_load", points=_run_grid(specs, seeds, jobs)
     )
+
+
+#: Zipf exponents of the client-population skew sweep: uniform through
+#: heavily skewed (s > 1 concentrates most traffic on a few clients).
+PAPER_ZIPF_SKEWS = (0.0, 0.5, 0.8, 1.1, 1.5)
+
+
+def run_zipf_sweep(
+    *,
+    skews: tuple[float, ...] = PAPER_ZIPF_SKEWS,
+    group_sizes: tuple[int, ...] = PAPER_GROUP_SIZES,
+    stacks: tuple[StackKind, ...] = (StackKind.MODULAR, StackKind.MONOLITHIC),
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    base: RunConfig | None = None,
+    jobs: int = 1,
+) -> SweepResult:
+    """Vary the client population's Zipf activity skew at fixed load.
+
+    The base config must carry a ``workload.population``; each point
+    replaces only its ``zipf_s``. Offered load is held constant, so the
+    curve isolates how concentrating the same traffic onto ever fewer
+    clients moves the latency distribution (p50 vs p999).
+    """
+    base = base or RunConfig()
+    population = base.workload.population
+    if population is None:
+        raise ConfigurationError(
+            "zipf sweep needs a client population on the base config "
+            "(set workload.population)"
+        )
+    specs = []
+    for n in group_sizes:
+        for stack in stacks:
+            for skew in skews:
+                workload = replace(
+                    base.workload,
+                    population=replace(population, zipf_s=float(skew)),
+                )
+                config = base.with_changes(
+                    n=n, stack=replace(base.stack, kind=stack), workload=workload
+                )
+                specs.append((n, stack, float(skew), config))
+    return SweepResult(parameter="zipf_s", points=_run_grid(specs, seeds, jobs))
 
 
 def run_size_sweep(
@@ -187,8 +257,8 @@ def run_size_sweep(
     for n in group_sizes:
         for stack in stacks:
             for size in sizes:
-                workload = WorkloadConfig(
-                    offered_load=offered_load, message_size=size
+                workload = replace(
+                    base.workload, offered_load=offered_load, message_size=size
                 )
                 config = base.with_changes(
                     n=n, stack=replace(base.stack, kind=stack), workload=workload

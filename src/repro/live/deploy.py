@@ -99,6 +99,17 @@ class LiveSpec:
     #: Directory for per-worker write-ahead delivery logs (crash
     #: recovery); ``None`` disables logging — the fault-free default.
     wal_dir: str | None = None
+    #: Logical clients multiplexed onto the worker connections by the
+    #: client-fleet driver; 0 keeps the paper's plain symmetric load.
+    #: Each worker fronts ``clients / n`` clients on its single control
+    #: connection — thousands of logical clients per connection cost
+    #: one gap sampler and one Zipf draw per arrival, nothing per
+    #: client (see :mod:`repro.workload.population`).
+    clients: int = 0
+    #: Zipf activity-skew exponent of the fleet (0 = uniform).
+    zipf_s: float = 1.1
+    #: Aggregate arrival law of the fleet: poisson, bursty or diurnal.
+    client_arrival: str = "poisson"
 
     def validate(self) -> None:
         """Reject specs the deployment cannot run."""
@@ -111,6 +122,22 @@ class LiveSpec:
             )
         if self.fd not in ("heartbeat", "none"):
             raise DeploymentError(f"unknown live failure detector {self.fd!r}")
+        if self.clients < 0:
+            raise DeploymentError(f"clients must be >= 0: {self.clients}")
+        if self.clients:
+            if self.clients < self.n:
+                raise DeploymentError(
+                    f"a fleet of {self.clients} clients cannot cover "
+                    f"n={self.n} workers (need at least one client each)"
+                )
+            if self.zipf_s < 0:
+                raise DeploymentError(
+                    f"zipf exponent must be >= 0: {self.zipf_s}"
+                )
+            if self.client_arrival not in ("poisson", "bursty", "diurnal"):
+                raise DeploymentError(
+                    f"unknown client arrival law {self.client_arrival!r}"
+                )
         if self.senders is not None:
             if not self.senders:
                 raise DeploymentError("senders must name at least one process")
@@ -177,6 +204,15 @@ def worker_spec(
         "unordered_cap": spec.unordered_cap,
         "wal": wal,
         "recover": recover,
+        "population": (
+            {
+                "clients": spec.clients,
+                "zipf_s": spec.zipf_s,
+                "arrival": spec.client_arrival,
+            }
+            if spec.clients
+            else None
+        ),
     }
 
 
@@ -399,8 +435,13 @@ def _reduce(
     stalls = sum(
         int(d.get("backpressure_stalls", 0)) for d in control.done.values()
     )
+    active_clients = sum(
+        int(d.get("active_clients", 0)) for d in control.done.values()
+    )
     metrics = collector.finalize(
-        blocked_attempts=blocked, backpressure_stalls=stalls
+        blocked_attempts=blocked,
+        backpressure_stalls=stalls,
+        active_clients=active_clients,
     )
 
     network: dict[str, int] = {}

@@ -45,7 +45,7 @@ import time
 from typing import Any
 
 from repro.abcast.factory import build_process
-from repro.config import stack_from_label
+from repro.config import ClientArrival, ClientPopulationConfig, stack_from_label
 from repro.fd.heartbeat import HeartbeatFailureDetector
 from repro.flowcontrol.window import BacklogWindow
 from repro.live.runtime import LiveRuntime
@@ -56,6 +56,7 @@ from repro.stack.events import AbcastRequest
 from repro.stack.module import Microprotocol
 from repro.types import AppMessage, MessageId
 from repro.workload.generator import FlowControlledSender
+from repro.workload.population import ClientPool, population_gap_sampler
 
 #: How often buffered samples are flushed to the orchestrator.
 FLUSH_INTERVAL = 0.25
@@ -127,6 +128,10 @@ class Worker:
         self._sync_retry: asyncio.TimerHandle | None = None
         self._recovered = False
         self._control_writer: asyncio.StreamWriter | None = None
+        #: Client-fleet driver: the logical clients this worker fronts,
+        #: multiplexed over its single connection (``None`` = plain
+        #: symmetric load, the paper's workload).
+        self._pool: ClientPool | None = None
 
     # -- assembly ----------------------------------------------------------
 
@@ -422,11 +427,18 @@ class Worker:
         return False
 
     def _schedule_arrivals(self) -> None:
-        """Open-loop uniform arrivals, as the paper's constant-rate load.
+        """Open-loop arrivals: the paper's constant-rate load, or — with
+        a ``population`` in the spec — the client-fleet driver.
 
         When the spec restricts the workload to a subset of ``senders``,
         the offered load is split across those processes only and the
         rest stay silent (they still deliver, of course).
+
+        The fleet driver multiplexes this worker's share of the logical
+        clients onto its one connection: gaps come from the population's
+        aggregate arrival law (Poisson/bursty/diurnal) and each arrival
+        is attributed to a Zipf-sampled client — O(1) per arrival, no
+        per-client state beyond the sparse activity counters.
         """
         assert self.runtime is not None and self.sender is not None
         spec = self.spec
@@ -442,19 +454,46 @@ class Worker:
         rng = random.Random(int(spec.get("seed", 1)) * 1000 + self.pid)
         loop = self.runtime.loop
 
+        sampler = None
+        population = spec.get("population")
+        if population is not None:
+            config = ClientPopulationConfig(
+                clients=int(population["clients"]),
+                zipf_s=float(population["zipf_s"]),
+                arrival=ClientArrival(population["arrival"]),
+            )
+            sampler = population_gap_sampler(config, rate, rng)
+            self._pool = ClientPool(
+                config,
+                self.pid,
+                self.n,
+                random.Random(int(spec.get("seed", 1)) * 1000 + self.pid + 501),
+            )
+
+        def gap() -> float:
+            assert self.runtime is not None
+            if sampler is not None:
+                return sampler.gap(self.runtime.now)
+            return interval
+
         def tick() -> None:
             assert self.runtime is not None and self.sender is not None
             if self.runtime.now > stop_at or not self.runtime.alive:
                 return
+            if self._pool is not None:
+                self._pool.on_arrival()
             if self._backpressure_blocked():
                 # No credit: the arrival is refused outright (it never
                 # reaches flow control) and retried next period.
                 self._backpressure_stalls += 1
             else:
                 self.sender.offer()
-            loop.call_later(interval, tick)
+            loop.call_later(gap(), tick)
 
-        first_delay = max(0.0, rng.random() * interval - self.runtime.now)
+        if sampler is not None:
+            first_delay = max(0.0, sampler.first_delay() - self.runtime.now)
+        else:
+            first_delay = max(0.0, rng.random() * interval - self.runtime.now)
         loop.call_later(first_delay, tick)
 
     def _start_workload(self) -> None:
@@ -512,6 +551,13 @@ class Worker:
             "backpressure_stalls": self._backpressure_stalls,
             "recovered": self._recovered,
             "wal_truncated_bytes": self._wal_truncated,
+            "active_clients": (
+                self._pool.active_clients if self._pool is not None else 0
+            ),
+            "fleet_clients": self._pool.size if self._pool is not None else 0,
+            "fleet_arrivals": (
+                self._pool.arrivals if self._pool is not None else 0
+            ),
         }
 
     def _wal_checkpoint(self) -> None:

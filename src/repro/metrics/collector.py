@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.metrics.stats import is_stationary
+from repro.metrics.stats import LatencyHistogram, is_stationary
 from repro.types import AppMessage, MessageId, SimTime
 
 
@@ -48,6 +48,22 @@ class RunMetrics:
     #: cap was exhausted). Always 0 in simulation, where the paper's
     #: flow-control window is the only throttle.
     backpressure_stalls: int = 0
+    #: Tail latency (seconds) read from the log-bucketed histogram —
+    #: the "heavy traffic from millions of users" metric; exact sample
+    #: percentiles above stop being trustworthy long before p999, so
+    #: this one always comes from the merged histogram.
+    latency_p999: float | None = None
+    #: The full latency distribution as sorted ``(bucket, count)``
+    #: pairs (see :class:`~repro.metrics.stats.LatencyHistogram`);
+    #: mergeable across processes, seeds and runs.
+    latency_histogram: tuple[tuple[int, int], ...] = ()
+    #: Distinct logical clients that generated at least one arrival
+    #: (client-population workloads; 0 for the paper's symmetric load).
+    active_clients: int = 0
+
+    def histogram(self) -> LatencyHistogram:
+        """The latency distribution as a live histogram object."""
+        return LatencyHistogram.from_counts(self.latency_histogram)
 
 
 class MetricsCollector:
@@ -97,7 +113,11 @@ class MetricsCollector:
         return ordered[index]
 
     def finalize(
-        self, blocked_attempts: int = 0, *, backpressure_stalls: int = 0
+        self,
+        blocked_attempts: int = 0,
+        *,
+        backpressure_stalls: int = 0,
+        active_clients: int = 0,
     ) -> RunMetrics:
         """Reduce collected events to a :class:`RunMetrics`."""
         duration = self.window_end - self.window_start
@@ -105,6 +125,7 @@ class MetricsCollector:
         ordered = sorted(samples)
         half = len(samples) // 2
         rates = [count / duration for count in self._deliveries_in_window]
+        histogram = LatencyHistogram.of(samples)
         return RunMetrics(
             latency_mean=(sum(samples) / len(samples)) if samples else None,
             latency_p50=self._percentile(ordered, 0.50) if ordered else None,
@@ -118,4 +139,7 @@ class MetricsCollector:
             blocked_attempts=blocked_attempts,
             stationary=is_stationary(samples[:half], samples[half:]),
             backpressure_stalls=backpressure_stalls,
+            latency_p999=histogram.percentile(0.999),
+            latency_histogram=histogram.counts(),
+            active_clients=active_clients,
         )

@@ -13,9 +13,11 @@ The early-latency clock ``t0`` of a message is the time its
 
 from __future__ import annotations
 
-from typing import Callable
+import random
+from typing import Callable, Protocol
 
 from repro.config import ArrivalProcess, WorkloadConfig
+from repro.errors import ConfigurationError
 from repro.flowcontrol.window import BacklogWindow
 from repro.sim.kernel import Kernel
 from repro.stack.events import AbcastRequest
@@ -27,6 +29,94 @@ AcceptListener = Callable[[AppMessage], None]
 
 #: Called on every abcast attempt, before flow control (for metrics).
 OfferListener = Callable[[], None]
+
+#: Called on every arrival, live or lazily materialized, before the
+#: offer hits flow control (client-population attribution).
+ArrivalListener = Callable[[], None]
+
+
+class GapSampler(Protocol):
+    """Inter-arrival law of one sender, decoupled from the scheduler.
+
+    Every arrival process — the paper's two laws and the population
+    layer's bursty/diurnal mixes — implements this protocol; the
+    schedule itself never branches on the law. Samplers may be
+    stateful; they must draw all randomness from the stream they were
+    constructed with, so lazy materialization replays the exact draws
+    the live ticking would have made.
+    """
+
+    def first_delay(self) -> float:
+        """Delay of the first arrival (the schedule's random phase)."""
+        ...
+
+    def gap(self, at: SimTime) -> float:
+        """Seconds until the next arrival, given the current one at *at*."""
+        ...
+
+
+class UniformGaps:
+    """The paper's constant-rate law: fixed spacing, random phase."""
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        self._interval = 1.0 / rate
+        self._rng = rng
+
+    def first_delay(self) -> float:
+        return self._rng.random() * self._interval
+
+    def gap(self, at: SimTime) -> float:
+        return self._interval
+
+
+class PoissonGaps:
+    """Poisson arrivals at a fixed mean rate."""
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        self._rate = rate
+        self._interval = 1.0 / rate
+        self._rng = rng
+
+    def first_delay(self) -> float:
+        return self._rng.random() * self._interval
+
+    def gap(self, at: SimTime) -> float:
+        return self._rng.expovariate(self._rate)
+
+
+#: Registry of symmetric-workload arrival laws. Dispatch is by lookup,
+#: not if/else chains, so an :class:`ArrivalProcess` member without a
+#: registered sampler is a loud ConfigurationError — it can no longer
+#: silently fall through to the constant-rate path.
+GAP_SAMPLER_FACTORIES: dict[
+    ArrivalProcess, Callable[[float, random.Random], GapSampler]
+] = {
+    ArrivalProcess.UNIFORM: UniformGaps,
+    ArrivalProcess.POISSON: PoissonGaps,
+}
+
+
+def make_gap_sampler(
+    workload: WorkloadConfig, n: int, rng: random.Random
+) -> GapSampler:
+    """The gap sampler for one process's share of *workload*.
+
+    A configured client population takes precedence: its aggregate
+    arrival law replaces the symmetric :class:`ArrivalProcess`.
+    """
+    rate = workload.per_process_rate(n)
+    if workload.population is not None:
+        from repro.workload.population import population_gap_sampler
+
+        return population_gap_sampler(workload.population, rate, rng)
+    factory = GAP_SAMPLER_FACTORIES.get(workload.arrival)
+    if factory is None:
+        raise ConfigurationError(
+            f"no gap sampler registered for arrival process "
+            f"{workload.arrival!r} (registered: "
+            f"{', '.join(sorted(p.value for p in GAP_SAMPLER_FACTORIES))})"
+        )
+    return factory(rate, rng)
 
 
 class FlowControlledSender:
@@ -157,15 +247,15 @@ class ArrivalSchedule:
         *,
         stop_at: SimTime,
         rng_name: str,
+        on_arrival: ArrivalListener | None = None,
     ) -> None:
         self._kernel = kernel
         self._sender = sender
         self._runtime = sender.runtime
         self._stop_at = stop_at
-        self._rate = workload.per_process_rate(n)
-        self._poisson = workload.arrival is ArrivalProcess.POISSON
         self._rng = kernel.rng.stream(rng_name)
-        self._interval = 1.0 / self._rate
+        self._sampler = make_gap_sampler(workload, n, self._rng)
+        self._on_arrival = on_arrival
         #: Absolute time of the next (possibly unmaterialized) arrival.
         self._next_due: SimTime = 0.0
         #: True while the schedule is dormant behind a full window.
@@ -177,14 +267,12 @@ class ArrivalSchedule:
 
     def start(self) -> None:
         """Begin generating arrivals (with a random initial phase)."""
-        first_delay = self._rng.random() * self._interval
-        self._next_due = self._kernel.now + first_delay
+        self._next_due = self._kernel.now + self._sampler.first_delay()
         self._kernel.post(self._next_due, self._tick)
 
-    def _gap(self) -> float:
-        if self._poisson:
-            return self._rng.expovariate(self._rate)
-        return self._interval
+    def _arrived(self) -> None:
+        if self._on_arrival is not None:
+            self._on_arrival()
 
     def _tick(self) -> None:
         kernel = self._kernel
@@ -192,10 +280,11 @@ class ArrivalSchedule:
         if now > self._stop_at or not self._runtime.alive:
             self._done = True
             return
+        self._arrived()
         accepted = self._sender.offer()
         # Same now + gap arithmetic as the always-ticking variant; gap is
         # never negative, so the unchecked absolute-time post is safe.
-        self._next_due = now + self._gap()
+        self._next_due = now + self._sampler.gap(now)
         if accepted:
             kernel.post(self._next_due, self._tick)
         else:
@@ -213,8 +302,9 @@ class ArrivalSchedule:
             if due > self._stop_at or (crashed_at is not None and due >= crashed_at):
                 self._done = True
                 return
+            self._arrived()
             self._sender.offer()  # window is full: counts as blocked
-            self._next_due = due + self._gap()
+            self._next_due = due + self._sampler.gap(due)
 
     def catch_up(self) -> None:
         """Account for arrivals skipped while dormant (before a release)."""

@@ -62,6 +62,27 @@ class TestLiveSmoke:
         assert set(sim["config"]) == set(live["config"])
 
 
+class TestClientFleet:
+    def test_fleet_multiplexes_over_1000_logical_clients_per_connection(self):
+        # 3600 logical clients over 3 workers = 1200 per connection —
+        # above the 1000-per-connection bar the fleet driver must clear.
+        result = run_live(
+            smoke_spec(clients=3600, zipf_s=1.1, client_arrival="bursty")
+        )
+        metrics = result["metrics"]
+        assert metrics["throughput"] > 0
+        assert metrics["latency_count"] > 0
+        assert metrics["latency_p999"] is not None
+        assert metrics["latency_p999"] > 0
+        # Attribution really ran: some (skew: not all) of the 3600
+        # clients sent during the window.
+        assert 0 < metrics["active_clients"] <= 3600
+
+    def test_fleet_smaller_than_group_rejected(self):
+        with pytest.raises(DeploymentError):
+            run_live(smoke_spec(clients=2))
+
+
 class TestSpecValidation:
     def test_unknown_stack_rejected_before_deploying(self):
         with pytest.raises(ConfigurationError):

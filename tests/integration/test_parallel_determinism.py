@@ -17,7 +17,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import RunConfig, StackConfig, StackKind, WorkloadConfig
+from repro.config import (
+    ClientArrival,
+    ClientPopulationConfig,
+    RunConfig,
+    StackConfig,
+    StackKind,
+    WorkloadConfig,
+)
 from repro.experiments.export import dumps_canonical, sweep_to_dict
 from repro.experiments.parallel import run_simulations, run_tasks
 from repro.experiments.runner import run_simulation
@@ -69,6 +76,43 @@ class TestDeterminismUnderParallelism:
             assert result.network == direct.network
             assert result.events_executed == direct.events_executed
 
+    def test_population_sweep_json_is_byte_identical_across_jobs(self):
+        """The lazy client-population model under the same wall: one
+        skewed-bursty sweep point, byte-identical for any job count and
+        stable across reruns (same process, fresh RNG registries)."""
+        base = RunConfig(
+            duration=0.6,
+            warmup=0.2,
+            workload=WorkloadConfig(
+                population=ClientPopulationConfig(
+                    clients=50_000, zipf_s=1.2, arrival=ClientArrival.BURSTY
+                )
+            ),
+        )
+        kwargs = dict(
+            loads=(800.0,),
+            group_sizes=(3,),
+            stacks=(StackKind.MONOLITHIC,),
+            seeds=(1, 2),
+            base=base,
+        )
+        serial = dumps_canonical(sweep_to_dict(run_load_sweep(jobs=1, **kwargs)))
+        fanned = dumps_canonical(sweep_to_dict(run_load_sweep(jobs=4, **kwargs)))
+        rerun = dumps_canonical(sweep_to_dict(run_load_sweep(jobs=1, **kwargs)))
+        assert serial == fanned
+        assert serial == rerun
+        # The point actually exercises the new reporting: finite p999
+        # and a non-empty histogram for every seed.
+        import json
+
+        document = json.loads(serial)
+        point = document["points"][0]
+        assert point["latency_p999"]["mean"] > 0
+        assert point["histogram"]
+        for run in point["runs"]:
+            assert run["metrics"]["latency_p999"] > 0
+            assert run["metrics"]["active_clients"] > 0
+
     def test_nemesis_cases_identical_across_jobs(self):
         cases = [
             generate_case(stack, seed)
@@ -108,6 +152,43 @@ POINTS = {
     "fig9_modular": (StackKind.MODULAR, 2000.0, 1024),
     "fig9_monolithic": (StackKind.MONOLITHIC, 2000.0, 1024),
 }
+
+
+#: (throughput, latency_mean, latency_count, latency_p999,
+#: active_clients) of one skewed-bursty population point, two seeds.
+#: Pins the population model's whole draw pipeline: aggregate bursty
+#: gaps, Zipf attribution (its own stream) and the histogram's p999.
+POPULATION_GOLDEN = {
+    1: (932.5, 0.0024733744085752604, 1867, 0.0047315125896148025, 772),
+    2: (632.0, 0.002357657165169489, 1264, 0.003981071705534973, 606),
+}
+
+
+@pytest.mark.parametrize("seed", sorted(POPULATION_GOLDEN))
+def test_seed_stability_of_population_point(seed):
+    """Bit-exact pin of the skewed-bursty population point."""
+    config = RunConfig(
+        n=3,
+        stack=StackConfig(kind=StackKind.MONOLITHIC),
+        workload=WorkloadConfig(
+            offered_load=800.0,
+            population=ClientPopulationConfig(
+                clients=50_000, zipf_s=1.2, arrival=ClientArrival.BURSTY
+            ),
+        ),
+    )
+    result = run_simulation(config, seed=seed)
+    observed = (
+        result.metrics.throughput,
+        result.metrics.latency_mean,
+        result.metrics.latency_count,
+        result.metrics.latency_p999,
+        result.metrics.active_clients,
+    )
+    assert observed == POPULATION_GOLDEN[seed], (
+        f"population point seed={seed} drifted: "
+        f"{observed} != {POPULATION_GOLDEN[seed]}"
+    )
 
 
 @pytest.mark.parametrize("name,seed", sorted(GOLDEN))

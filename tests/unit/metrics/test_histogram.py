@@ -1,0 +1,118 @@
+"""Property wall for the mergeable log-bucketed latency histogram.
+
+Pins the two claims the population layer's reporting rests on: merging
+is a commutative monoid over histograms (so per-process, per-seed and
+per-run histograms can be combined in any order or grouping), and a
+percentile read from a merged histogram equals the exact percentile of
+the concatenated samples up to one bucket width (≈ 5.9 % relative).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MetricsError
+from repro.metrics.stats import (
+    BUCKETS_PER_DECADE,
+    HISTOGRAM_MIN,
+    LatencyHistogram,
+)
+
+#: One relative bucket width: the guaranteed percentile resolution.
+BUCKET_FACTOR = 10 ** (1.0 / BUCKETS_PER_DECADE)
+
+latencies = st.floats(
+    min_value=HISTOGRAM_MIN, max_value=100.0, allow_nan=False
+)
+sample_lists = st.lists(latencies, max_size=60)
+fractions = st.sampled_from([0.0, 0.5, 0.9, 0.99, 0.999, 1.0])
+
+
+def _exact_percentile(ordered: list[float], fraction: float) -> float:
+    """The collector's nearest-rank rule, on raw samples."""
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@given(sample_lists, sample_lists)
+def test_merge_is_commutative(a, b):
+    ha, hb = LatencyHistogram.of(a), LatencyHistogram.of(b)
+    assert ha.merge(hb) == hb.merge(ha)
+
+
+@given(sample_lists, sample_lists, sample_lists)
+def test_merge_is_associative(a, b, c):
+    ha, hb, hc = (LatencyHistogram.of(s) for s in (a, b, c))
+    assert ha.merge(hb).merge(hc) == ha.merge(hb.merge(hc))
+
+
+@given(sample_lists)
+def test_empty_histogram_is_the_merge_identity(a):
+    h = LatencyHistogram.of(a)
+    empty = LatencyHistogram()
+    assert h.merge(empty) == h
+    assert empty.merge(h) == h
+
+
+@given(sample_lists, sample_lists)
+def test_merge_equals_histogram_of_concatenation(a, b):
+    merged = LatencyHistogram.of(a).merge(LatencyHistogram.of(b))
+    assert merged == LatencyHistogram.of(a + b)
+    assert merged.total == len(a) + len(b)
+
+
+@settings(max_examples=200)
+@given(
+    st.lists(latencies, min_size=1, max_size=60),
+    sample_lists,
+    fractions,
+)
+def test_merged_percentile_matches_exact_within_one_bucket_width(a, b, q):
+    merged = LatencyHistogram.of(a).merge(LatencyHistogram.of(b))
+    exact = _exact_percentile(sorted(a + b), q)
+    reported = merged.percentile(q)
+    # The reported value is the containing bucket's upper bound: never
+    # below the exact sample, never more than one bucket width above.
+    assert reported >= exact * (1 - 1e-9)
+    assert reported <= exact * BUCKET_FACTOR * (1 + 1e-9)
+
+
+@given(sample_lists)
+def test_counts_round_trip(a):
+    h = LatencyHistogram.of(a)
+    assert LatencyHistogram.from_counts(h.counts()) == h
+    # The JSON form (lists instead of tuples) round-trips too.
+    assert LatencyHistogram.from_counts(
+        [list(pair) for pair in h.counts()]
+    ) == h
+
+
+def test_bucket_bounds_bracket_every_sample():
+    for value in (HISTOGRAM_MIN, 1e-4, 0.003, 0.5, 7.0, 99.0):
+        index = LatencyHistogram.bucket_index(value)
+        low, high = LatencyHistogram.bucket_bounds(index)
+        assert low * (1 + 1e-12) > value / BUCKET_FACTOR
+        assert low <= value * (1 + 1e-12) < high * (1 + 1e-12)
+
+
+def test_sub_resolution_samples_land_in_bucket_zero():
+    h = LatencyHistogram.of([0.0, HISTOGRAM_MIN / 10])
+    assert h.counts() == ((0, 2),)
+    assert h.percentile(0.5) == pytest.approx(HISTOGRAM_MIN * BUCKET_FACTOR)
+
+
+def test_empty_percentile_is_none_and_bad_inputs_raise():
+    empty = LatencyHistogram()
+    assert empty.percentile(0.999) is None
+    with pytest.raises(MetricsError):
+        empty.record(float("nan"))
+    with pytest.raises(MetricsError):
+        empty.record(-1.0)
+    with pytest.raises(MetricsError):
+        empty.percentile(1.5)
+    with pytest.raises(MetricsError):
+        LatencyHistogram.from_counts([(3, -1)])

@@ -1,5 +1,8 @@
 """Unit tests for the flow-controlled workload generators."""
 
+import enum
+import random
+
 import pytest
 
 from repro.config import (
@@ -8,13 +11,21 @@ from repro.config import (
     NetworkConfig,
     WorkloadConfig,
 )
+from repro.errors import ConfigurationError
 from repro.flowcontrol.window import BacklogWindow
 from repro.net.network import Network
 from repro.sim.kernel import Kernel
 from repro.stack.events import AbcastRequest
 from repro.stack.module import Microprotocol
 from repro.stack.runtime import ProcessRuntime
-from repro.workload.generator import ArrivalSchedule, FlowControlledSender
+from repro.workload.generator import (
+    GAP_SAMPLER_FACTORIES,
+    ArrivalSchedule,
+    FlowControlledSender,
+    PoissonGaps,
+    UniformGaps,
+    make_gap_sampler,
+)
 
 from tests.conftest import make_ctx
 
@@ -153,6 +164,77 @@ def test_schedule_stops_at_deadline():
     schedule.start()
     kernel.run(until=10.0)
     assert sender.offered <= 51
+
+
+def test_gap_sampler_dispatch_is_by_registry():
+    """Each arrival process maps to its own sampler, by lookup."""
+    rng = random.Random(1)
+    assert isinstance(
+        make_gap_sampler(WorkloadConfig(offered_load=100.0), 2, rng),
+        UniformGaps,
+    )
+    assert isinstance(
+        make_gap_sampler(
+            WorkloadConfig(offered_load=100.0, arrival=ArrivalProcess.POISSON),
+            2,
+            rng,
+        ),
+        PoissonGaps,
+    )
+
+
+def test_unregistered_arrival_process_is_a_loud_error():
+    """Regression: the old ``_gap()`` branched POISSON-vs-everything, so
+    any new arrival law silently got constant spacing. An arrival value
+    missing from the registry must now raise, not fall through."""
+
+    class PhantomArrival(enum.Enum):
+        SELF_SIMILAR = "self-similar"
+
+    workload = WorkloadConfig(offered_load=100.0)
+    # Bypass enum validation the way a half-wired new process would:
+    # the config carries an arrival value no sampler is registered for.
+    object.__setattr__(workload, "arrival", PhantomArrival.SELF_SIMILAR)
+    assert workload.arrival not in GAP_SAMPLER_FACTORIES
+    with pytest.raises(ConfigurationError, match="no gap sampler registered"):
+        make_gap_sampler(workload, 2, random.Random(1))
+
+
+def test_population_workload_dispatches_to_the_population_sampler():
+    from repro.config import ClientPopulationConfig
+    from repro.workload.population import PopulationPoissonGaps
+
+    workload = WorkloadConfig(
+        offered_load=100.0, population=ClientPopulationConfig(clients=10)
+    )
+    sampler = make_gap_sampler(workload, 2, random.Random(1))
+    assert isinstance(sampler, PopulationPoissonGaps)
+
+
+def test_on_arrival_hook_fires_for_live_and_lazily_materialized_arrivals():
+    """The attribution hook must see every arrival exactly once, in
+    order, whether the schedule ticked live or replayed a blocked span
+    lazily — otherwise population attribution would drift under load."""
+    kernel, sink, sender, accepted = build_sender(window=1)
+    arrivals = []
+    workload = WorkloadConfig(offered_load=100.0, message_size=10)
+    schedule = ArrivalSchedule(
+        kernel,
+        sender,
+        workload,
+        n=2,
+        stop_at=2.0,
+        rng_name="w",
+        on_arrival=lambda: arrivals.append(kernel.now),
+    )
+    schedule.start()
+    kernel.run(until=2.1)
+    schedule.finalize()
+    # window=1 with no deliveries: the first offer is accepted, the
+    # rest are blocked and materialized lazily at finalize; the hook
+    # still counts each of them.
+    assert len(arrivals) == sender.offered
+    assert sender.offered >= 95
 
 
 def test_schedule_stops_when_process_crashes():

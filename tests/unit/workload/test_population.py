@@ -1,0 +1,272 @@
+"""Statistical test wall for the client-population workload layer.
+
+Every stochastic component of :mod:`repro.workload.population` ships
+behind a distribution-goodness test at fixed seeds: goodness-of-fit for
+the Poisson aggregate and the Zipf activity ranks, overdispersion
+(burstiness index > 1) for the on/off mix, monotone intensity ramps for
+the diurnal law, and mean preservation for all three. Fixed seeds make
+these exact regression tests, not flaky statistical ones — a failure
+means the generator's distribution actually changed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.config import ClientArrival, ClientPopulationConfig
+from repro.errors import ConfigurationError
+from repro.workload.population import (
+    BurstyGaps,
+    ClientPool,
+    ClientPopulation,
+    DiurnalGaps,
+    PopulationPoissonGaps,
+    ZipfSampler,
+    population_gap_sampler,
+)
+
+RATE = 200.0
+
+
+def _gaps(sampler, count: int) -> list[float]:
+    out = [sampler.first_delay()]
+    at = out[0]
+    for __ in range(count - 1):
+        gap = sampler.gap(at)
+        out.append(gap)
+        at += gap
+    return out
+
+
+# -- Poisson aggregate -------------------------------------------------------
+
+
+def test_poisson_interarrivals_pass_ks_goodness_of_fit():
+    sampler = PopulationPoissonGaps(RATE, random.Random(42))
+    gaps = _gaps(sampler, 4000)
+    # KS against Exponential(rate): the aggregate of independent client
+    # Poisson streams must itself be Poisson.
+    statistic, p_value = scipy_stats.kstest(gaps, "expon", args=(0, 1.0 / RATE))
+    assert p_value > 0.01, f"KS rejected exponential gaps: p={p_value:.4f}"
+
+
+def test_poisson_mean_rate_matches_configured_rate():
+    sampler = PopulationPoissonGaps(RATE, random.Random(7))
+    gaps = _gaps(sampler, 20000)
+    measured = len(gaps) / sum(gaps)
+    assert measured == pytest.approx(RATE, rel=0.05)
+
+
+# -- Zipf activity ranks ------------------------------------------------------
+
+
+def test_zipf_ranks_pass_chi_square_goodness_of_fit():
+    size, s = 50, 1.1
+    sampler = ZipfSampler(size, s, random.Random(42))
+    draws = 30000
+    observed = [0] * size
+    for __ in range(draws):
+        observed[sampler.sample() - 1] += 1
+    weights = [r ** -s for r in range(1, size + 1)]
+    total = sum(weights)
+    expected = [draws * w / total for w in weights]
+    statistic, p_value = scipy_stats.chisquare(observed, expected)
+    assert p_value > 0.01, f"chi-square rejected Zipf({s}): p={p_value:.4f}"
+
+
+def test_zipf_exponent_zero_is_uniform():
+    size = 20
+    sampler = ZipfSampler(size, 0.0, random.Random(3))
+    draws = 20000
+    observed = [0] * size
+    for __ in range(draws):
+        observed[sampler.sample() - 1] += 1
+    statistic, p_value = scipy_stats.chisquare(observed)
+    assert p_value > 0.01
+    assert min(observed) > 0
+
+
+def test_zipf_skew_concentrates_traffic_on_hot_ranks():
+    rng = random.Random(11)
+    sampler = ZipfSampler(10_000, 1.3, rng)
+    draws = [sampler.sample() for __ in range(20000)]
+    top_10_share = sum(1 for r in draws if r <= 10) / len(draws)
+    # With s=1.3 over 10k ranks the 10 hottest clients carry a large
+    # fraction of all traffic; uniform would give them 0.1 %.
+    assert top_10_share > 0.3
+    assert all(1 <= r <= 10_000 for r in draws)
+
+
+def test_zipf_supports_population_sized_supports_in_constant_memory():
+    # 10^7 ranks: rejection inversion needs no weight table, so the
+    # only cost is a handful of floats. A draw must stay in range.
+    sampler = ZipfSampler(10_000_000, 1.1, random.Random(1))
+    for __ in range(1000):
+        assert 1 <= sampler.sample() <= 10_000_000
+
+
+def test_zipf_rejects_bad_parameters():
+    with pytest.raises(ConfigurationError):
+        ZipfSampler(0, 1.0, random.Random(1))
+    with pytest.raises(ConfigurationError):
+        ZipfSampler(10, -0.5, random.Random(1))
+
+
+# -- bursty on/off mix --------------------------------------------------------
+
+
+def _dispersion_index(gaps: list[float], window: float) -> float:
+    """Index of dispersion of counts: Var(N)/E(N) over fixed windows."""
+    at = 0.0
+    arrivals = []
+    for gap in gaps:
+        at += gap
+        arrivals.append(at)
+    horizon = arrivals[-1]
+    bins = int(horizon / window)
+    counts = [0] * bins
+    for t in arrivals:
+        index = int(t / window)
+        if index < bins:
+            counts[index] += 1
+    mean_count = sum(counts) / len(counts)
+    variance = sum((c - mean_count) ** 2 for c in counts) / len(counts)
+    return variance / mean_count
+
+
+def test_bursty_mix_is_overdispersed_poisson_is_not():
+    config = ClientPopulationConfig(
+        clients=1000, arrival=ClientArrival.BURSTY, burst_on=0.05, burst_off=0.15
+    )
+    bursty = _dispersion_index(
+        _gaps(BurstyGaps(RATE, config, random.Random(42)), 20000), window=0.1
+    )
+    poisson = _dispersion_index(
+        _gaps(PopulationPoissonGaps(RATE, random.Random(42)), 20000), window=0.1
+    )
+    # The Markov-modulated on/off mix must be visibly burstier than
+    # Poisson: IoD well above 1 (Poisson's is ~1 by definition).
+    assert bursty > 1.5, f"burstiness index {bursty:.2f} not > 1"
+    assert poisson == pytest.approx(1.0, abs=0.35)
+    assert bursty > poisson
+
+
+def test_bursty_mix_preserves_the_mean_rate():
+    config = ClientPopulationConfig(
+        clients=1000, arrival=ClientArrival.BURSTY, burst_on=0.05, burst_off=0.15
+    )
+    gaps = _gaps(BurstyGaps(RATE, config, random.Random(9)), 40000)
+    measured = len(gaps) / sum(gaps)
+    assert measured == pytest.approx(RATE, rel=0.07)
+
+
+# -- diurnal ramps ------------------------------------------------------------
+
+
+def test_diurnal_intensity_ramps_monotonically_to_the_peak():
+    config = ClientPopulationConfig(
+        clients=1000,
+        arrival=ClientArrival.DIURNAL,
+        diurnal_period=4.0,
+        diurnal_trough=0.2,
+    )
+    sampler = DiurnalGaps(RATE, config, random.Random(1))
+    half = config.diurnal_period / 2
+    ramp_up = [sampler._intensity(t) for t in [i * half / 50 for i in range(51)]]
+    assert ramp_up == sorted(ramp_up), "intensity must rise trough → peak"
+    ramp_down = [
+        sampler._intensity(half + i * half / 50) for i in range(51)
+    ]
+    assert ramp_down == sorted(ramp_down, reverse=True)
+    # Trough and peak pin the raised-cosine endpoints.
+    peak = 2.0 * RATE / (1.0 + config.diurnal_trough)
+    assert sampler._intensity(0.0) == pytest.approx(peak * config.diurnal_trough)
+    assert sampler._intensity(half) == pytest.approx(peak)
+
+
+def test_diurnal_arrivals_follow_the_ramp_and_preserve_the_mean():
+    config = ClientPopulationConfig(
+        clients=1000,
+        arrival=ClientArrival.DIURNAL,
+        diurnal_period=2.0,
+        diurnal_trough=0.2,
+    )
+    gaps = _gaps(DiurnalGaps(RATE, config, random.Random(42)), 30000)
+    measured = len(gaps) / sum(gaps)
+    assert measured == pytest.approx(RATE, rel=0.07)
+    # Per-phase-quarter counts: mid-cycle quarters (around the peak)
+    # must carry more arrivals than the edge quarters (the trough).
+    at = 0.0
+    quarters = [0, 0, 0, 0]
+    for gap in gaps:
+        at += gap
+        phase = (at % config.diurnal_period) / config.diurnal_period
+        quarters[min(3, int(phase * 4))] += 1
+    assert quarters[1] > quarters[0]
+    assert quarters[2] > quarters[3]
+    assert quarters[1] + quarters[2] > 1.5 * (quarters[0] + quarters[3])
+
+
+# -- attribution and dispatch -------------------------------------------------
+
+
+def test_population_gap_sampler_dispatches_every_arrival_law():
+    rng = random.Random(1)
+    cases = {
+        ClientArrival.POISSON: PopulationPoissonGaps,
+        ClientArrival.BURSTY: BurstyGaps,
+        ClientArrival.DIURNAL: DiurnalGaps,
+    }
+    for arrival, expected in cases.items():
+        config = ClientPopulationConfig(clients=10, arrival=arrival)
+        assert isinstance(
+            population_gap_sampler(config, RATE, rng), expected
+        )
+
+
+def test_client_pools_split_the_population_and_keep_ids_disjoint():
+    config = ClientPopulationConfig(clients=10, zipf_s=1.0)
+    n = 3
+    pools = [
+        ClientPool(config, pid, n, random.Random(pid)) for pid in range(n)
+    ]
+    assert [pool.size for pool in pools] == [4, 3, 3]
+    assert sum(pool.size for pool in pools) == config.clients
+    seen: set[int] = set()
+    for pool in pools:
+        ids = {pool.on_arrival() for __ in range(200)}
+        assert not ids & seen, "global client ids must be disjoint across pools"
+        seen |= ids
+    assert all(0 <= cid < config.clients for cid in seen)
+
+
+def test_client_population_counts_active_clients_lazily():
+    config = ClientPopulationConfig(clients=1_000_000, zipf_s=1.1)
+    population = ClientPopulation(
+        config, 4, lambda name: random.Random(hash(name) & 0xFFFF)
+    )
+    hooks = [population.arrival_hook(pid) for pid in range(4)]
+    for __ in range(500):
+        for hook in hooks:
+            hook()
+    assert population.arrivals == 2000
+    # Skew means far fewer distinct clients than arrivals — and the
+    # million-client pool itself costs nothing (no per-client state).
+    assert 0 < population.active_clients <= 2000
+
+
+def test_population_config_validation():
+    with pytest.raises(ConfigurationError):
+        ClientPopulationConfig(clients=0)
+    with pytest.raises(ConfigurationError):
+        ClientPopulationConfig(zipf_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        ClientPopulationConfig(burst_on=0.0)
+    with pytest.raises(ConfigurationError):
+        ClientPopulationConfig(diurnal_trough=0.0)
+    config = ClientPopulationConfig(clients=10, burst_on=0.05, burst_off=0.15)
+    assert config.duty_cycle == pytest.approx(0.25)
