@@ -15,6 +15,18 @@ Usage::
     python -m repro latencydist        # latency-distribution histogram figure
     python -m repro nemesis            # adversarial sweep (see below)
     python -m repro live               # run a stack over real TCP (see below)
+    python -m repro profile            # cost-of-modularity profiler (see below)
+
+The ``profile`` command runs one traced simulation per stack at a
+common configuration point and prints where the CPU time went: a
+per-stack/per-layer latency-attribution table, the measured modularity
+overhead (boundary-crossing time over total attributed time) and a
+representative message's critical path. ``--trace-out trace.json``
+additionally writes every span as Chrome-trace/Perfetto JSON — open it
+at https://ui.perfetto.dev::
+
+    python -m repro profile --stacks monolithic,modular
+    python -m repro profile --stacks modular --trace-out trace.json
 
 ``--clients N --zipf S --client-arrival {poisson,bursty,diurnal}``
 attach a lazy client-population model (N logical clients, Zipf(S)
@@ -122,6 +134,7 @@ COMMANDS = (
     "latencydist",
     "nemesis",
     "live",
+    "profile",
 )
 
 
@@ -327,6 +340,28 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the result as RunResult-schema JSON instead of a table",
     )
+    obs = parser.add_argument_group("observability options")
+    obs.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write causal spans as Chrome-trace/Perfetto JSON "
+            "(profile and live commands; open at https://ui.perfetto.dev)"
+        ),
+    )
+    obs.add_argument(
+        "--trace-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "span-trace ring-buffer capacity; the oldest records are "
+            "evicted (and counted) beyond N (default: 200000 for "
+            "profile, off for live unless --trace-out is given)"
+        ),
+    )
     return parser
 
 
@@ -341,12 +376,14 @@ def _maybe_export(report: FigureReport, csv_dir: Path | None) -> None:
 
 
 def _print_violations(result: "nemesis_swarm.CaseResult") -> None:
+    from repro.obs.format import format_trace_slice
+
     for violation in result.violations:
         print(f"  {violation}")
     trace = result.violations[-1].trace_slice if result.violations else ()
     if trace:
         print("  trace slice (most recent events):")
-        for line in trace[-12:]:
+        for line in format_trace_slice(trace[-12:]).splitlines():
             print(f"    {line}")
 
 
@@ -475,7 +512,9 @@ def _run_nemesis(args: argparse.Namespace) -> int:
     return 1
 
 
-def _live_summary(result: dict) -> str:
+def _live_summary(result: dict, observability: dict | None = None) -> str:
+    from repro.obs.telemetry import telemetry_rows
+
     metrics = result["metrics"]
     config = result["config"]
     latency = metrics["latency_mean"]
@@ -496,6 +535,16 @@ def _live_summary(result: dict) -> str:
         rows.insert(3, ["latency p999 (ms)", f"{p999 * 1e3:.2f}"])
     if metrics.get("active_clients"):
         rows.append(["active logical clients", str(metrics["active_clients"])])
+    if metrics.get("boundary_crossings"):
+        rows.append(
+            ["boundary crossings", str(metrics["boundary_crossings"])]
+        )
+    if observability is not None:
+        rows.extend(telemetry_rows(observability.get("telemetry", {})))
+        if observability.get("trace_dropped"):
+            rows.append(
+                ["trace records dropped", str(observability["trace_dropped"])]
+            )
     title = (
         f"live run: stack={config['stack']} n={config['n']} "
         f"load={config['load']:g} size={config['message_size']} "
@@ -509,6 +558,11 @@ def _run_live(args: argparse.Namespace) -> int:
     from repro.live.deploy import LiveSpec, run_live
 
     population = _population(args)
+    trace_cap = args.trace_cap
+    if trace_cap is None and args.trace_out is not None:
+        from repro.obs.profile import DEFAULT_TRACE_CAP
+
+        trace_cap = DEFAULT_TRACE_CAP
     spec = LiveSpec(
         n=args.n,
         stack=args.stack,
@@ -521,6 +575,7 @@ def _run_live(args: argparse.Namespace) -> int:
         client_arrival=population.arrival.value
         if population is not None
         else "poisson",
+        trace_cap=trace_cap or 0,
     )
     if args.compare:
         results = run_comparison(spec)
@@ -530,11 +585,69 @@ def _run_live(args: argparse.Namespace) -> int:
             print("sim vs live, matched parameters:")
             print(comparison_table(results))
         return 0
-    result = run_live(spec)
+    observability: dict = {}
+    result = run_live(spec, observability=observability)
     if args.json:
         print(json.dumps(result, indent=2))
     else:
-        print(_live_summary(result))
+        print(_live_summary(result, observability))
+    if args.trace_out is not None:
+        from repro.obs.perfetto import write_chrome_trace
+        from repro.obs.spans import spans_from_serialized
+
+        spans = spans_from_serialized(observability.get("spans", ()))
+        target = write_chrome_trace(args.trace_out, spans)
+        print(f"[trace] wrote {len(spans)} spans to {target}")
+    return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """The cost-of-modularity profiler: traced runs + attribution tables."""
+    from repro.obs.profile import (
+        DEFAULT_TRACE_CAP,
+        critical_path_summary,
+        export_chrome_trace,
+        layer_table,
+        run_profile,
+        summary_table,
+    )
+
+    labels = tuple(
+        label
+        for label in (args.stacks or "monolithic,modular").split(",")
+        if label
+    )
+    if not labels:
+        raise ConfigurationError("--stacks must name at least one stack")
+    for label in labels:
+        stack_from_label(label)  # raises with the sorted registry
+    seed = args.seeds if args.seeds else 1
+    runs = run_profile(
+        labels,
+        n=args.n,
+        load=args.load,
+        size=args.size,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=seed,
+        trace_cap=args.trace_cap or DEFAULT_TRACE_CAP,
+    )
+    print(
+        f"profile: n={args.n} load={args.load:g} size={args.size} "
+        f"duration={args.duration:g}s seed={seed}"
+    )
+    print()
+    print(summary_table(runs))
+    print()
+    print("per-layer CPU attribution over the measurement window:")
+    print(layer_table(runs))
+    for run in runs:
+        print()
+        print(critical_path_summary(run))
+    if args.trace_out is not None:
+        target = export_chrome_trace(runs, args.trace_out)
+        print()
+        print(f"[trace] wrote Perfetto JSON to {target}")
     return 0
 
 
@@ -714,6 +827,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_nemesis(args)
     if command == "live":
         return _run_live(args)
+    if command == "profile":
+        return _run_profile(args)
     if command == "sweep":
         return _run_sweep(args)
     if command == "latencydist":

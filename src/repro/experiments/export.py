@@ -43,6 +43,15 @@ CSV_FIELDS = (
     #: ``bucket:count`` pairs (see LatencyHistogram.bucket_bounds for
     #: the bucket → seconds mapping).
     "histogram",
+    #: Fraction of attributed CPU time spent crossing module
+    #: boundaries (see :mod:`repro.obs.attribution`); empty when no
+    #: run attributed.
+    "modularity_overhead",
+    #: Boundary crossings over the ensemble's measurement windows.
+    "boundary_crossings",
+    #: Network messages per protocol kind over the ensemble's
+    #: measurement windows, as space-separated ``kind:count`` pairs.
+    "messages_by_kind",
 )
 
 
@@ -84,6 +93,11 @@ def write_sweep_csv(sweep: SweepResult, destination: IO[str] | str | Path) -> in
                 int(point.stationary),
                 point.latency.count,
                 " ".join(f"{b}:{c}" for b, c in point.histogram),
+                ""
+                if point.modularity_overhead is None
+                else f"{point.modularity_overhead:.6f}",
+                point.boundary_crossings,
+                " ".join(f"{k}:{c}" for k, c in point.messages_by_kind),
             ]
         )
         rows += 1
@@ -127,6 +141,10 @@ def run_to_dict(run: RunResult) -> dict[str, Any]:
             "blocked_attempts": metrics.blocked_attempts,
             "stationary": metrics.stationary,
             "active_clients": metrics.active_clients,
+            "layer_busy": [[name, seconds] for name, seconds in metrics.layer_busy],
+            "boundary_time": metrics.boundary_time,
+            "boundary_crossings": metrics.boundary_crossings,
+            "modularity_overhead": _finite(metrics.modularity_overhead),
         },
         "network": {key: run.network[key] for key in sorted(run.network)},
         "cpu_utilization": list(run.cpu_utilization),
@@ -151,6 +169,9 @@ def point_to_dict(point: PointSummary) -> dict[str, Any]:
         "throughput": _ci_to_dict(point.throughput),
         "delivered_per_consensus": _finite(point.delivered_per_consensus),
         "stationary": point.stationary,
+        "modularity_overhead": _finite(point.modularity_overhead),
+        "boundary_crossings": point.boundary_crossings,
+        "messages_by_kind": [[kind, count] for kind, count in point.messages_by_kind],
         "runs": [run_to_dict(run) for run in point.runs],
     }
 

@@ -29,6 +29,7 @@ from repro.nemesis.suspicion import install_wrong_suspicions
 from repro.net.faults import FaultInjector
 from repro.net.network import Network
 from repro.net.stats import NetworkStats
+from repro.obs.attribution import LayerAttribution, delta_layers
 from repro.sim.kernel import Kernel
 from repro.sim.tracing import TraceRecorder
 from repro.stack.runtime import AdeliverListener, ProcessRuntime
@@ -178,6 +179,13 @@ class Simulation:
         self._cpu_busy_at_warmup = [0.0] * config.n
         self._window_network: dict = {}
         self._cpu_utilization: tuple[float, ...] = ()
+        self._layers_at_warmup: list[dict[str, float]] = [
+            {} for __ in range(config.n)
+        ]
+        self._boundary_at_warmup: list[tuple[float, int]] = [
+            (0.0, 0)
+        ] * config.n
+        self._attribution: LayerAttribution | None = None
         self._started = False
 
     # -- wiring -----------------------------------------------------------
@@ -282,6 +290,10 @@ class Simulation:
         self.stats.reset()
         self._instances_at_warmup = self._decided_instances()
         self._cpu_busy_at_warmup = [rt.cpu.busy_time for rt in self.runtimes]
+        self._layers_at_warmup = [dict(rt.layer_busy) for rt in self.runtimes]
+        self._boundary_at_warmup = [
+            (rt.boundary_busy, rt.boundary_crossings) for rt in self.runtimes
+        ]
 
     def _at_window_end(self) -> None:
         self._window_network = self.stats.snapshot()
@@ -290,6 +302,21 @@ class Simulation:
         self._cpu_utilization = tuple(
             min(1.0, (rt.cpu.busy_time - busy0) / duration)
             for rt, busy0 in zip(self.runtimes, self._cpu_busy_at_warmup)
+        )
+        layers: dict[str, float] = {}
+        boundary_time = 0.0
+        crossings = 0
+        for runtime, layers0, (busy0, crossings0) in zip(
+            self.runtimes, self._layers_at_warmup, self._boundary_at_warmup
+        ):
+            for name, seconds in delta_layers(
+                runtime.layer_busy, layers0
+            ).items():
+                layers[name] = layers.get(name, 0.0) + seconds
+            boundary_time += runtime.boundary_busy - busy0
+            crossings += runtime.boundary_crossings - crossings0
+        self._attribution = LayerAttribution.from_totals(
+            layers, boundary_time, crossings
         )
 
     # -- execution ----------------------------------------------------------------
@@ -325,6 +352,7 @@ class Simulation:
             active_clients=self.population.active_clients
             if self.population is not None
             else 0,
+            attribution=self._attribution,
         )
         if not metrics.stationary:
             warnings.warn(

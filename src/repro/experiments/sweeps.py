@@ -60,6 +60,15 @@ class PointSummary:
     #: The seed ensemble's merged latency histogram as sorted
     #: ``(bucket, count)`` pairs — the full distribution behind p999.
     histogram: tuple[tuple[int, int], ...] = ()
+    #: The measured cost of modularity: ensemble-mean fraction of
+    #: attributed CPU time spent crossing module boundaries (see
+    #: :mod:`repro.obs.attribution`). ``None`` when no run attributed.
+    modularity_overhead: float | None = None
+    #: Ensemble-total boundary crossings over the measurement windows.
+    boundary_crossings: int = 0
+    #: Network messages by protocol kind, summed across the ensemble's
+    #: measurement windows, as sorted ``(kind, count)`` pairs.
+    messages_by_kind: tuple[tuple[str, int], ...] = ()
 
     def merged_histogram(self) -> LatencyHistogram:
         """The ensemble's latency distribution as a live histogram."""
@@ -111,6 +120,15 @@ def summarize_point(
         for r in runs
         if r.delivered_per_consensus is not None
     ]
+    overheads = [
+        r.metrics.modularity_overhead
+        for r in runs
+        if r.metrics.modularity_overhead is not None
+    ]
+    by_kind: dict[str, int] = {}
+    for r in runs:
+        for kind, count in r.network.get("messages_by_kind", {}).items():
+            by_kind[kind] = by_kind.get(kind, 0) + count
     return PointSummary(
         n=n,
         stack=stack,
@@ -126,6 +144,11 @@ def summarize_point(
         runs=tuple(runs),
         latency_p999=mean_confidence_interval(p999s or [float("nan")]),
         histogram=merged.counts(),
+        modularity_overhead=(
+            sum(overheads) / len(overheads) if overheads else None
+        ),
+        boundary_crossings=sum(r.metrics.boundary_crossings for r in runs),
+        messages_by_kind=tuple(sorted(by_kind.items())),
     )
 
 

@@ -46,6 +46,8 @@ from repro.errors import DeploymentError
 from repro.live.transport import FrameDecoder, encode_frame
 from repro.live.results import live_result_dict
 from repro.metrics.collector import MetricsCollector
+from repro.obs.attribution import LayerAttribution
+from repro.obs.telemetry import summarize_telemetry
 from repro.types import AppMessage, MessageId
 
 #: Extra wall-clock seconds after the window closes, letting in-flight
@@ -110,6 +112,9 @@ class LiveSpec:
     zipf_s: float = 1.1
     #: Aggregate arrival law of the fleet: poisson, bursty or diurnal.
     client_arrival: str = "poisson"
+    #: Span-trace ring-buffer capacity per worker; 0 disables tracing
+    #: (the default — spans cost memory and control-channel bytes).
+    trace_cap: int = 0
 
     def validate(self) -> None:
         """Reject specs the deployment cannot run."""
@@ -124,6 +129,8 @@ class LiveSpec:
             raise DeploymentError(f"unknown live failure detector {self.fd!r}")
         if self.clients < 0:
             raise DeploymentError(f"clients must be >= 0: {self.clients}")
+        if self.trace_cap < 0:
+            raise DeploymentError(f"trace_cap must be >= 0: {self.trace_cap}")
         if self.clients:
             if self.clients < self.n:
                 raise DeploymentError(
@@ -204,6 +211,7 @@ def worker_spec(
         "unordered_cap": spec.unordered_cap,
         "wal": wal,
         "recover": recover,
+        "trace_cap": spec.trace_cap,
         "population": (
             {
                 "clients": spec.clients,
@@ -223,6 +231,9 @@ class _ControlServer:
         self.n = n
         self.ready: dict[int, asyncio.StreamWriter] = {}
         self.samples: list[dict] = []
+        #: Buffered telemetry snapshots, in arrival order (see
+        #: :mod:`repro.obs.telemetry` for the schema).
+        self.telemetry: list[dict] = []
         self.done: dict[int, dict] = {}
         self.all_ready = asyncio.Event()
         self.all_done = asyncio.Event()
@@ -261,6 +272,8 @@ class _ControlServer:
                 self.send_to(pid, {"type": "start", "epoch": self.epoch})
         elif kind == "samples":
             self.samples.append(document)
+        elif kind == "telemetry":
+            self.telemetry.append(document)
         elif kind == "recovered":
             self.recovery_event(int(document["pid"])).set()
         elif kind == "done":
@@ -400,6 +413,7 @@ def _reduce(
     spec: LiveSpec,
     control: _ControlServer,
     delivery_log: dict[int, list[MessageId]] | None = None,
+    observability: dict | None = None,
 ) -> dict:
     """Feed buffered samples through the simulator's collector.
 
@@ -407,7 +421,9 @@ def _reduce(
     adelivery sequence, in that process's own delivery order (frames of
     one worker arrive FIFO, and batches preserve local order). The log
     stays out of the result dict so the shared sim/live result schema is
-    unchanged.
+    unchanged. *observability*, likewise out of band, is filled with the
+    run's telemetry summary and — when the spec traced — the merged
+    wall-clock spans (``telemetry``, ``spans``, ``trace_dropped``).
     """
     collector = MetricsCollector(
         spec.n, window_start=spec.warmup, window_end=spec.warmup + spec.duration
@@ -438,11 +454,27 @@ def _reduce(
     active_clients = sum(
         int(d.get("active_clients", 0)) for d in control.done.values()
     )
+    crossings = sum(
+        int(d.get("boundary_crossings", 0)) for d in control.done.values()
+    )
     metrics = collector.finalize(
         blocked_attempts=blocked,
         backpressure_stalls=stalls,
         active_clients=active_clients,
+        # Live processes count crossings but have no modelled CPU, so
+        # the attribution carries a crossing count and zero time.
+        attribution=LayerAttribution.from_totals({}, 0.0, crossings),
     )
+    if observability is not None:
+        observability["telemetry"] = summarize_telemetry(control.telemetry)
+        spans: list[list] = []
+        for document in control.done.values():
+            spans.extend(document.get("spans", ()))
+        spans.sort(key=lambda row: (row[0], row[2]))
+        observability["spans"] = spans
+        observability["trace_dropped"] = sum(
+            int(d.get("trace_dropped", 0)) for d in control.done.values()
+        )
 
     network: dict[str, int] = {}
     for document in control.done.values():
@@ -465,7 +497,9 @@ def _reduce(
 
 
 async def _run_live_async(
-    spec: LiveSpec, delivery_log: dict[int, list[MessageId]] | None = None
+    spec: LiveSpec,
+    delivery_log: dict[int, list[MessageId]] | None = None,
+    observability: dict | None = None,
 ) -> dict:
     ports = reserve_ports(spec.host, spec.n)
     addresses = {pid: (spec.host, ports[pid]) for pid in range(spec.n)}
@@ -503,18 +537,23 @@ async def _run_live_async(
             if worker.stderr is not None:
                 worker.stderr.close()
 
-    return _reduce(spec, control, delivery_log)
+    return _reduce(spec, control, delivery_log, observability)
 
 
 def run_live(
-    spec: LiveSpec, *, delivery_log: dict[int, list[MessageId]] | None = None
+    spec: LiveSpec,
+    *,
+    delivery_log: dict[int, list[MessageId]] | None = None,
+    observability: dict | None = None,
 ) -> dict:
     """Deploy *spec* on localhost, run one measurement, return the result.
 
     Blocking convenience wrapper; roughly ``warmup + duration + drain``
     seconds of wall-clock time plus process start-up. Pass a dict as
     *delivery_log* to additionally capture every process's adelivery
-    sequence (pid → ordered list of message ids) out of band.
+    sequence (pid → ordered list of message ids) out of band; pass one
+    as *observability* to capture the telemetry summary and (with
+    ``trace_cap`` set) the merged wall-clock spans.
 
     Raises:
         DeploymentError: When workers die, never become ready, or stop
@@ -522,4 +561,4 @@ def run_live(
         ConfigurationError: For an unknown stack label.
     """
     spec.validate()
-    return asyncio.run(_run_live_async(spec, delivery_log))
+    return asyncio.run(_run_live_async(spec, delivery_log, observability))

@@ -42,7 +42,8 @@ from repro.stack.actions import (
     SendToAll,
     StartTimer,
 )
-from repro.stack.events import AdeliverIndication, Event
+from repro.sim.tracing import NullTraceRecorder, TraceRecorder
+from repro.stack.events import AbcastRequest, AdeliverIndication, Event
 from repro.stack.interface import AdeliverListener
 from repro.stack.module import Microprotocol
 from repro.live.transport import Transport
@@ -62,6 +63,7 @@ class LiveRuntime:
         loop: asyncio.AbstractEventLoop | None = None,
         clock: Callable[[], float] = time.monotonic,
         on_crash: Callable[[], None] | None = None,
+        trace: TraceRecorder | None = None,
     ) -> None:
         if not modules:
             raise ProtocolError("a stack needs at least one module")
@@ -74,6 +76,14 @@ class LiveRuntime:
         self._clock = clock
         self._epoch = 0.0
         self._on_crash = on_crash
+        #: Optional wall-clock span trace; records use the same span
+        #: schema as the simulator's (see :mod:`repro.obs.spans`), with
+        #: durations measured on the host clock instead of modelled CPU.
+        self._trace = trace if trace is not None else NullTraceRecorder()
+        #: Always-on boundary-crossing counter — the live counterpart of
+        #: the simulator's attribution (the live runtime has no modelled
+        #: CPU, so crossings are counted but carry no time).
+        self.boundary_crossings = 0
 
         self._modules = list(modules)
         self._by_name: dict[str, Microprotocol] = {}
@@ -178,7 +188,18 @@ class LiveRuntime:
         if not self.alive:
             return
         top = self._modules[0]
+        if not self._trace.enabled:
+            self._run_handler(top, lambda: top.handle_event(event))
+            return
+        start = self.now
+        if type(event) is AbcastRequest:
+            self._trace.record(
+                start, "abcast.submit", self.pid, event.message.msg_id
+            )
         self._run_handler(top, lambda: top.handle_event(event))
+        self._trace.record(
+            start, "span.inject", self.pid, (top.name, self.now - start)
+        )
 
     # ------------------------------------------------------------------
     # Crash semantics
@@ -275,7 +296,17 @@ class LiveRuntime:
             raise ProtocolError(
                 f"p{self.pid} has no module {message.module!r} for {message}"
             )
+        if not self._trace.enabled:
+            self._run_handler(module, lambda: module.handle_message(message))
+            return
+        start = self.now
         self._run_handler(module, lambda: module.handle_message(message))
+        self._trace.record(
+            start,
+            "span.recv",
+            self.pid,
+            (module.name, self.now - start, message.kind),
+        )
 
     # ------------------------------------------------------------------
     # Action execution
@@ -316,16 +347,25 @@ class LiveRuntime:
         header = self.net_config.base_header + self.net_config.per_module_header * (
             height + 1
         )
-        self.transport.send(
-            NetMessage(
-                kind=kind,
-                module=module.name,
-                src=self.pid,
-                dst=dst,
-                payload=payload,
-                payload_size=payload_size,
-                header_size=header,
-            )
+        message = NetMessage(
+            kind=kind,
+            module=module.name,
+            src=self.pid,
+            dst=dst,
+            payload=payload,
+            payload_size=payload_size,
+            header_size=header,
+        )
+        if not self._trace.enabled:
+            self.transport.send(message)
+            return
+        start = self.now
+        self.transport.send(message)
+        self._trace.record(
+            start,
+            "span.send",
+            self.pid,
+            (module.name, self.now - start, kind, dst),
         )
 
     def _emit(self, module: Microprotocol, event: Event, *, direction: int) -> None:
@@ -340,7 +380,18 @@ class LiveRuntime:
                 "the bottom of the stack"
             )
         target = self._modules[target_index]
+        self.boundary_crossings += 1
+        if not self._trace.enabled:
+            self._run_handler(target, lambda: target.handle_event(event))
+            return
+        start = self.now
         self._run_handler(target, lambda: target.handle_event(event))
+        self._trace.record(
+            start,
+            "span.cross",
+            self.pid,
+            ("boundary", self.now - start, module.name, target.name),
+        )
 
     def _deliver_to_application(self, event: Event) -> None:
         if not isinstance(event, AdeliverIndication):
@@ -348,8 +399,19 @@ class LiveRuntime:
                 f"top module emitted unexpected event {type(event).__name__} "
                 "to the application"
             )
+        when = self.now
+        if self._trace.enabled:
+            self._trace.record(
+                when,
+                "span.adeliver",
+                self.pid,
+                ("app", 0.0, event.message.msg_id),
+            )
+            self._trace.record(
+                when, "abcast.adeliver", self.pid, event.message.msg_id
+            )
         if self._adeliver_listener is not None:
-            self._adeliver_listener(self.pid, event.message, self.now)
+            self._adeliver_listener(self.pid, event.message, when)
 
     # ------------------------------------------------------------------
     # Timers

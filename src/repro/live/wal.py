@@ -96,6 +96,9 @@ class WalWriter:
         self.path = Path(path)
         self._file = open(self.path, "ab")
         self._buffer = bytearray()
+        #: Number of fsyncs issued (a telemetry counter: the worker's
+        #: durability cost, surfaced on the control channel).
+        self.fsyncs = 0
 
     def append(self, record: dict, *, sync: bool = False) -> None:
         """Buffer one record; with ``sync=True``, make it durable now."""
@@ -111,6 +114,7 @@ class WalWriter:
         self._buffer.clear()
         self._file.flush()
         os.fsync(self._file.fileno())
+        self.fsyncs += 1
 
     def close(self) -> None:
         """Flush outstanding records and close the file."""

@@ -52,6 +52,7 @@ from repro.live.runtime import LiveRuntime
 from repro.live.transport import FrameDecoder, Transport, encode_frame
 from repro.live.wal import WalState, WalWriter, load_wal_state
 from repro.net.message import NetMessage
+from repro.sim.tracing import NullTraceRecorder, TraceRecorder
 from repro.stack.events import AbcastRequest
 from repro.stack.module import Microprotocol
 from repro.types import AppMessage, MessageId
@@ -132,6 +133,13 @@ class Worker:
         #: multiplexed over its single connection (``None`` = plain
         #: symmetric load, the paper's workload).
         self._pool: ClientPool | None = None
+        #: Wall-clock span trace (``"trace_cap"`` in the spec turns it
+        #: on); spans ship to the orchestrator in the done document.
+        self.trace: TraceRecorder = (
+            TraceRecorder(cap=int(spec["trace_cap"]))
+            if spec.get("trace_cap")
+            else NullTraceRecorder()
+        )
 
     # -- assembly ----------------------------------------------------------
 
@@ -175,6 +183,7 @@ class Worker:
                 modules,
                 transport_holder[0],
                 on_crash=lambda: os._exit(CRASH_EXIT_CODE),
+                trace=self.trace if self.trace.enabled else None,
             )
 
         runtime = build_process(
@@ -528,6 +537,43 @@ class Worker:
         self._delivers = []
         return document
 
+    def _telemetry_document(self) -> dict:
+        """One counter/gauge snapshot (schema: :mod:`repro.obs.telemetry`)."""
+        assert self.runtime is not None and self.transport is not None
+        top = self.runtime.modules[0]
+        backlog = getattr(top, "unordered_count", None)
+        if backlog is None:
+            backlog = getattr(top, "pool_count", 0)
+        unacked = max(
+            (
+                self.transport.unacked_to(peer)
+                for peer in range(self.n)
+                if peer != self.pid
+            ),
+            default=0,
+        )
+        return {
+            "type": "telemetry",
+            "pid": self.pid,
+            "t": self.runtime.now,
+            "queue_depth": int(backlog),
+            "unacked": int(unacked),
+            "congested": bool(self.transport.congested),
+            "backpressure_stalls": self._backpressure_stalls,
+            "reconnects": self.transport.stats.reconnects,
+            "wal_fsyncs": self.wal.fsyncs if self.wal is not None else 0,
+        }
+
+    def _span_rows(self) -> list[list]:
+        """Serialize traced spans as ``[time, category, pid, detail]``."""
+        rows = []
+        for record in self.trace.records():
+            if record.category.startswith("span."):
+                rows.append(
+                    [record.time, record.category, record.process, list(record.detail)]
+                )
+        return rows
+
     def _done_document(self) -> dict:
         assert self.runtime is not None and self.transport is not None
         assert self.sender is not None
@@ -558,6 +604,10 @@ class Worker:
             "fleet_arrivals": (
                 self._pool.arrivals if self._pool is not None else 0
             ),
+            "boundary_crossings": self.runtime.boundary_crossings,
+            "wal_fsyncs": self.wal.fsyncs if self.wal is not None else 0,
+            "spans": self._span_rows() if self.trace.enabled else [],
+            "trace_dropped": self.trace.dropped_records,
         }
 
     def _wal_checkpoint(self) -> None:
@@ -659,7 +709,8 @@ class Worker:
             document = self._drain_samples()
             if document is not None:
                 send_control(writer, document)
-                await writer.drain()
+            send_control(writer, self._telemetry_document())
+            await writer.drain()
 
 
 def main(argv: list[str] | None = None) -> int:

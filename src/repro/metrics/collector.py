@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.metrics.stats import LatencyHistogram, is_stationary
+from repro.obs.attribution import LayerAttribution
 from repro.types import AppMessage, MessageId, SimTime
 
 
@@ -60,6 +61,20 @@ class RunMetrics:
     #: Distinct logical clients that generated at least one arrival
     #: (client-population workloads; 0 for the paper's symmetric load).
     active_clients: int = 0
+    #: Per-layer CPU seconds over the measurement window, summed across
+    #: processes, as sorted ``(layer, seconds)`` pairs (see
+    #: :mod:`repro.obs.attribution`). Empty when attribution was not
+    #: collected (e.g. the live runtime, which has no modelled CPU).
+    layer_busy: tuple[tuple[str, float], ...] = ()
+    #: CPU seconds charged to inter-module boundary crossings over the
+    #: window — exactly 0.0 for a monolithic stack, by construction.
+    boundary_time: float = 0.0
+    #: Number of boundary crossings charged over the window.
+    boundary_crossings: int = 0
+    #: The cost of modularity as a fraction: boundary time over total
+    #: attributed CPU time. ``None`` when attribution was not collected
+    #: or the window was idle.
+    modularity_overhead: float | None = None
 
     def histogram(self) -> LatencyHistogram:
         """The latency distribution as a live histogram object."""
@@ -118,6 +133,7 @@ class MetricsCollector:
         *,
         backpressure_stalls: int = 0,
         active_clients: int = 0,
+        attribution: LayerAttribution | None = None,
     ) -> RunMetrics:
         """Reduce collected events to a :class:`RunMetrics`."""
         duration = self.window_end - self.window_start
@@ -142,4 +158,12 @@ class MetricsCollector:
             latency_p999=histogram.percentile(0.999),
             latency_histogram=histogram.counts(),
             active_clients=active_clients,
+            layer_busy=attribution.layer_busy if attribution else (),
+            boundary_time=attribution.boundary_time if attribution else 0.0,
+            boundary_crossings=attribution.boundary_crossings
+            if attribution
+            else 0,
+            modularity_overhead=attribution.overhead_fraction
+            if attribution
+            else None,
         )

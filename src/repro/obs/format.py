@@ -1,0 +1,132 @@
+"""Human-readable rendering of trace slices and span paths.
+
+The nemesis violation reports carry a ring buffer of recent events as
+flat ``t=<time> <text>`` strings; :func:`format_trace_slice` parses
+them back into aligned columns with layer names, so a violation's
+context reads like a table instead of raw tuples. The profile CLI uses
+:func:`format_message_path` for its critical-path summary.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from repro.sim.tracing import TraceRecord
+
+_SLICE_LINE = re.compile(r"^t=(?P<time>[0-9.+-eE]+)\s+(?P<text>.*)$")
+_PROCESS_EVENT = re.compile(r"^p(?P<pid>\d+)\s+(?P<event>.*)$")
+
+#: Leading keyword of a trace-slice event → the layer it belongs to.
+_EVENT_LAYERS = (
+    ("adeliver", "abcast"),
+    ("abcast", "abcast"),
+    ("decide", "consensus"),
+    ("propose", "consensus"),
+    ("rdeliver", "rbcast"),
+    ("crash", "process"),
+    ("restart", "process"),
+)
+
+
+def _classify(text: str) -> tuple[str, str, str]:
+    """One raw slice line's text → (process, layer, event) columns."""
+    if text.startswith("fault:"):
+        return "-", "fault", text[len("fault:") :].strip()
+    if text.startswith("VIOLATION"):
+        return "-", "violation", text[len("VIOLATION") :].strip()
+    if text.startswith("watchdog"):
+        return "-", "watchdog", text
+    match = _PROCESS_EVENT.match(text)
+    if match:
+        event = match.group("event")
+        keyword = event.split(" ", 1)[0]
+        for prefix, layer in _EVENT_LAYERS:
+            if keyword == prefix:
+                return f"p{match.group('pid')}", layer, event
+        return f"p{match.group('pid')}", "-", event
+    return "-", "-", text
+
+
+def format_trace_slice(lines: Sequence[str]) -> str:
+    """Render nemesis ``t=<time> <text>`` lines as aligned columns."""
+    rows = []
+    for line in lines:
+        match = _SLICE_LINE.match(line)
+        if match is None:
+            rows.append(("", "-", "-", line))
+            continue
+        process, layer, event = _classify(match.group("text"))
+        rows.append((match.group("time"), process, layer, event))
+    headers = ("t", "proc", "layer", "event")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row[:3]):
+            widths[i] = max(widths[i], len(cell))
+    out = [
+        "  ".join(
+            h.rjust(w) if i < 3 else h
+            for i, (h, w) in enumerate(zip(headers, widths + [0]))
+        )
+    ]
+    for row in rows:
+        out.append(
+            "  ".join(
+                cell.rjust(widths[i]) if i < 3 else cell
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(out)
+
+
+def format_message_path(records: Iterable[TraceRecord]) -> str:
+    """One message's causal path as an aligned timeline.
+
+    Rows show absolute time (ms), the delta to the previous step (µs),
+    the process and what happened — the profile CLI's critical-path
+    summary for a representative message.
+    """
+    rows = []
+    previous: float | None = None
+    for record in records:
+        delta = "" if previous is None else f"+{(record.time - previous) * 1e6:.0f}"
+        previous = record.time
+        category = record.category
+        if category == "abcast.submit":
+            what = f"submit {record.detail}"
+        elif category == "abcast.adeliver":
+            what = f"adeliver {record.detail}"
+        elif category.startswith("net."):
+            message = record.detail
+            what = (
+                f"{category[4:]} {message.kind} "
+                f"{message.module} p{message.src}->p{message.dst} "
+                f"({message.wire_size}B)"
+            )
+        elif category == "span.adeliver":
+            layer, duration = record.detail[0], record.detail[1]
+            what = f"adeliver upcall in {layer} ({duration * 1e6:.0f}µs)"
+        else:
+            what = f"{category} {record.detail}"
+        rows.append((f"{record.time * 1e3:.3f}", delta, f"p{record.process}", what))
+    if not rows:
+        return "(no records for this message)"
+    headers = ("t (ms)", "+µs", "proc", "event")
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row[:3]):
+            widths[i] = max(widths[i], len(cell))
+    out = [
+        "  ".join(
+            h.rjust(w) if i < 3 else h
+            for i, (h, w) in enumerate(zip(headers, widths + [0]))
+        )
+    ]
+    for row in rows:
+        out.append(
+            "  ".join(
+                cell.rjust(widths[i]) if i < 3 else cell
+                for i, cell in enumerate(row)
+            )
+        )
+    return "\n".join(out)

@@ -1,0 +1,154 @@
+"""Chrome-trace / Perfetto JSON export of span traces.
+
+Writes the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+JSON that ``chrome://tracing`` and https://ui.perfetto.dev open
+directly: one *process* track per protocol process, one *thread* track
+per layer, and one complete event (``ph: "X"``) per span. Timestamps
+are microseconds; simulated and wall-clock spans export identically
+because both runtimes share the span schema (:mod:`repro.obs.spans`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.obs.spans import Span
+
+#: Event phases the validator accepts: complete events and metadata.
+_PHASES = ("X", "M")
+
+
+def chrome_trace(
+    spans: Iterable[Span],
+    *,
+    process_names: Mapping[int, str] | None = None,
+    pid_offset: int = 0,
+) -> dict:
+    """Spans as one Chrome-trace document (a JSON-ready dict).
+
+    Args:
+        spans: The spans to export.
+        process_names: Optional display names per process id (defaults
+            to ``p<id>``); the profile CLI uses ``<stack>/p<id>`` when
+            exporting several stacks into one file.
+        pid_offset: Added to every process id, so traces of different
+            runs can share a file without track collisions.
+    """
+    events: list[dict[str, Any]] = []
+    #: Stable thread ids: one per (process, layer), in first-seen order.
+    tids: dict[tuple[int, str], int] = {}
+    seen_pids: list[int] = []
+    for span in spans:
+        pid = span.process + pid_offset
+        key = (pid, span.layer)
+        tid = tids.get(key)
+        if tid is None:
+            tid = len([1 for (p, __) in tids if p == pid])
+            tids[key] = tid
+        if pid not in seen_pids:
+            seen_pids.append(pid)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.layer,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": {key: _jsonable(value) for key, value in span.args},
+            }
+        )
+    metadata: list[dict[str, Any]] = []
+    for pid in seen_pids:
+        name = (process_names or {}).get(pid, f"p{pid}")
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+    for (pid, layer), tid in tids.items():
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": layer},
+            }
+        )
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def validate_chrome_trace(document: Any) -> list[str]:
+    """Schema errors in a Chrome-trace document (empty = valid).
+
+    Checks the subset of the Trace Event Format this package emits:
+    a top-level ``traceEvents`` array of complete (``X``) and metadata
+    (``M``) events with numeric, non-negative timestamps and integer
+    track ids. Used by the CI trace-smoke job on the exported file.
+    """
+    errors = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-array traceEvents"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            errors.append(f"{where}: phase {phase!r} not in {_PHASES}")
+            continue
+        if not isinstance(event.get("name"), str) or not event.get("name"):
+            errors.append(f"{where}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: {key} is not an integer")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or value != value:
+                    errors.append(f"{where}: {key} is not a finite number")
+                elif value < 0:
+                    errors.append(f"{where}: {key} is negative")
+            if not isinstance(event.get("cat"), str):
+                errors.append(f"{where}: cat is not a string")
+    return errors
+
+
+def write_chrome_trace(
+    path: str | Path,
+    spans: Iterable[Span],
+    *,
+    process_names: Mapping[int, str] | None = None,
+) -> Path:
+    """Write *spans* as a Chrome-trace JSON file; returns the path."""
+    target = Path(path)
+    document = chrome_trace(spans, process_names=process_names)
+    target.write_text(json.dumps(document, indent=1) + "\n", encoding="utf-8")
+    return target
+
+
+def merge_traces(documents: Iterable[dict]) -> dict:
+    """Concatenate several Chrome-trace documents into one."""
+    events: list = []
+    for document in documents:
+        events.extend(document.get("traceEvents", ()))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -1,0 +1,257 @@
+"""The causal span model shared by the simulated and live runtimes.
+
+Every broadcast message's lifecycle is observable as a sequence of
+spans: ``submit → abcast.* → consensus.* → net.* → adeliver``. Both
+runtimes record the *same* schema into a
+:class:`~repro.sim.tracing.TraceRecorder` — the simulator at simulated
+time, the live worker at wall-clock time since the deployment epoch —
+so one set of tools (this module, the Perfetto exporter, the profile
+tables) works on either.
+
+Record contract (enforced by :func:`validate_spans` and the
+sim-vs-live conformance tests): a span record's category is
+``span.<name>``, its ``time`` is the span's start, and its ``detail``
+is a tuple ``(layer, duration, *extras)`` where the extras per name
+are:
+
+========== ==========================================
+``inject``   ``()``
+``recv``     ``(kind,)``
+``send``     ``(kind, dst)``
+``cross``    ``(from_layer, to_layer)``
+``adeliver`` ``(msg_id,)``
+========== ==========================================
+
+Two instantaneous marker categories complete the causal picture:
+``abcast.submit`` (detail: the :class:`~repro.types.MessageId` entering
+the stack) and ``abcast.adeliver`` (detail: the id leaving it). The
+span-balance invariant — every measured submit closes with exactly one
+adeliver per correct process — is checked over these markers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.sim.tracing import TraceRecord, TraceRecorder
+from repro.types import MessageId
+
+#: Category prefix of span records in a trace.
+SPAN_PREFIX = "span."
+
+#: Extra detail fields per span name — the shared sim/live schema.
+SPAN_ARG_KEYS: dict[str, tuple[str, ...]] = {
+    "inject": (),
+    "recv": ("kind",),
+    "send": ("kind", "dst"),
+    "cross": ("from", "to"),
+    "adeliver": ("msg",),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One timed operation in a message's path through a stack.
+
+    Attributes:
+        name: Operation: ``inject``, ``recv``, ``send``, ``cross`` or
+            ``adeliver``.
+        layer: The layer the time was spent in — a module name
+            (``abcast``, ``consensus``, ``mono``, ...), ``boundary``
+            for inter-module crossings, ``app`` for the final
+            adeliver upcall or ``fd`` for failure-detector work.
+        process: Process the span executed on.
+        start: Span start (simulated seconds, or wall-clock seconds
+            since the deployment epoch for live spans).
+        duration: Span length in the same time base.
+        args: Extra key/value detail, per :data:`SPAN_ARG_KEYS`.
+    """
+
+    name: str
+    layer: str
+    process: int
+    start: float
+    duration: float
+    args: tuple[tuple[str, Any], ...] = ()
+
+
+def _span_from_record(record: TraceRecord) -> Span:
+    name = record.category[len(SPAN_PREFIX) :]
+    detail = record.detail
+    layer, duration = detail[0], detail[1]
+    keys = SPAN_ARG_KEYS.get(name, ())
+    args = tuple(zip(keys, detail[2:]))
+    return Span(
+        name=name,
+        layer=layer,
+        process=record.process,
+        start=record.time,
+        duration=duration,
+        args=args,
+    )
+
+
+def spans_from_trace(trace: TraceRecorder) -> list[Span]:
+    """Extract every span from *trace*, oldest first."""
+    return [_span_from_record(r) for r in trace.select(SPAN_PREFIX)]
+
+
+def spans_from_serialized(rows: Iterable[Sequence]) -> list[Span]:
+    """Rebuild spans a live worker shipped as JSON rows.
+
+    Each row is ``[time, category, process, detail]`` with tuples
+    flattened to lists (see the worker's ``_serialize_trace``).
+    """
+    spans = []
+    for time, category, process, detail in rows:
+        if not category.startswith(SPAN_PREFIX):
+            continue
+        spans.append(
+            _span_from_record(
+                TraceRecord(float(time), category, int(process), tuple(detail))
+            )
+        )
+    return spans
+
+
+def validate_spans(spans: Iterable[Span]) -> list[str]:
+    """Schema errors in *spans* (empty list = all conform)."""
+    errors = []
+    for index, span in enumerate(spans):
+        where = f"span #{index} ({span.name!r} on p{span.process})"
+        if span.name not in SPAN_ARG_KEYS:
+            errors.append(f"{where}: unknown span name")
+            continue
+        if not span.layer:
+            errors.append(f"{where}: empty layer")
+        if span.duration < 0:
+            errors.append(f"{where}: negative duration {span.duration}")
+        expected = SPAN_ARG_KEYS[span.name]
+        got = tuple(key for key, __ in span.args)
+        if got != expected:
+            errors.append(f"{where}: args {got} != schema {expected}")
+    return errors
+
+
+# -- causal markers ----------------------------------------------------------
+
+
+def submits(trace: TraceRecorder) -> list[tuple[float, int, MessageId]]:
+    """Every ``abcast.submit`` marker as (time, process, msg_id)."""
+    return [
+        (r.time, r.process, r.detail) for r in trace.select("abcast.submit")
+    ]
+
+
+def adelivers(trace: TraceRecorder) -> list[tuple[float, int, MessageId]]:
+    """Every ``abcast.adeliver`` marker as (time, process, msg_id)."""
+    return [
+        (r.time, r.process, r.detail) for r in trace.select("abcast.adeliver")
+    ]
+
+
+def span_balance(
+    trace: TraceRecorder,
+    *,
+    correct: Iterable[int] | None = None,
+    before: float | None = None,
+) -> list[str]:
+    """Violations of the span-balance invariant (empty = balanced).
+
+    Checks, over the trace's ``abcast.submit``/``abcast.adeliver``
+    markers:
+
+    * every adelivered message was submitted exactly once,
+    * no process adelivers the same message twice,
+    * every message submitted strictly before *before* (when given) is
+      adelivered by every process in *correct* (when given).
+
+    A bounded trace that dropped records cannot prove balance; one
+    finding says so instead of reporting spurious misses.
+    """
+    if trace.dropped_records:
+        return [
+            f"trace dropped {trace.dropped_records} records (cap="
+            f"{trace.cap}); span balance is not provable — raise --trace-cap"
+        ]
+    errors = []
+    submit_counts: dict[MessageId, int] = {}
+    submit_times: dict[MessageId, float] = {}
+    for time, __, msg_id in submits(trace):
+        submit_counts[msg_id] = submit_counts.get(msg_id, 0) + 1
+        submit_times.setdefault(msg_id, time)
+    delivered_by: dict[MessageId, set[int]] = {}
+    for __, pid, msg_id in adelivers(trace):
+        if msg_id not in submit_counts:
+            errors.append(f"p{pid} adelivered {msg_id} without a submit")
+            continue
+        seen = delivered_by.setdefault(msg_id, set())
+        if pid in seen:
+            errors.append(f"p{pid} adelivered {msg_id} twice")
+        seen.add(pid)
+    for msg_id, count in submit_counts.items():
+        if count > 1:
+            errors.append(f"{msg_id} submitted {count} times")
+    if correct is not None and before is not None:
+        expected = set(correct)
+        for msg_id, t0 in sorted(submit_times.items()):
+            if t0 >= before:
+                continue
+            missing = expected - delivered_by.get(msg_id, set())
+            if missing:
+                errors.append(
+                    f"{msg_id} (submitted t={t0:.4f}) never adelivered at "
+                    f"{sorted(missing)}"
+                )
+    return errors
+
+
+# -- per-message path --------------------------------------------------------
+
+
+def _mentions(payload: Any, msg_id: MessageId) -> bool:
+    """Best-effort: does *payload* carry *msg_id*? Protocol payloads are
+    opaque to the tracer, so this walks the common shapes one level deep
+    (a message, a batch, a tuple of either)."""
+    if payload is None:
+        return False
+    if payload is msg_id or payload == msg_id:
+        return True
+    inner = getattr(payload, "msg_id", None)
+    if inner is not None:
+        return inner == msg_id
+    messages = getattr(payload, "messages", None)
+    if messages is not None:
+        return any(getattr(m, "msg_id", None) == msg_id for m in messages)
+    if isinstance(payload, (tuple, list)):
+        return any(_mentions(item, msg_id) for item in payload)
+    return False
+
+
+def message_path(trace: TraceRecorder, msg_id: MessageId) -> list[TraceRecord]:
+    """Every trace record causally tied to *msg_id*, oldest first.
+
+    Includes its submit/adeliver markers and the ``net.send`` /
+    ``net.recv`` records whose payload mentions the id — the observable
+    critical path of one message through the stack and the network.
+    """
+    path = []
+    for record in trace.records():
+        category = record.category
+        if category in ("abcast.submit", "abcast.adeliver"):
+            if record.detail == msg_id:
+                path.append(record)
+        elif category.startswith("net."):
+            message = record.detail
+            if message is not None and _mentions(
+                getattr(message, "payload", None), msg_id
+            ):
+                path.append(record)
+        elif category == "span.adeliver":
+            if record.detail[2] == msg_id:
+                path.append(record)
+    # Ring order is insertion order per process but interleaves freely
+    # across processes; the timeline reads in time order.
+    path.sort(key=lambda r: (r.time, r.process))
+    return path

@@ -6,6 +6,13 @@ benchmarks (recording every network message at high offered loads costs
 memory); tests and the examples turn it on to assert on protocol message
 flows, which is how we validate the paper's analytical message counts
 against the actual simulator behaviour.
+
+The recorder is bounded: with ``cap=N`` it keeps the *most recent* N
+records in a ring buffer and counts everything it had to evict in
+``dropped_records``, so long soak runs (and the live workers, which
+reuse this recorder with wall-clock timestamps) can trace safely with a
+fixed memory budget. ``cap=None`` keeps the historical append-only
+behaviour.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+from repro.errors import ConfigurationError
 from repro.types import SimTime
 
 
@@ -21,9 +29,10 @@ class TraceRecord:
     """One traced occurrence.
 
     Attributes:
-        time: Simulated time of the occurrence.
+        time: Simulated time of the occurrence (wall-clock seconds since
+            the deployment epoch when a live runtime records).
         category: Dot-separated namespace, e.g. ``"net.send"``,
-            ``"abcast.adeliver"``, ``"consensus.decide"``.
+            ``"abcast.adeliver"``, ``"span.cross"``.
         process: Process on which it occurred, or ``-1`` for global events.
         detail: Category-specific payload (kept small and hashable-free).
     """
@@ -35,11 +44,24 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Append-only in-memory trace with category filtering."""
+    """In-memory trace with category filtering and an optional ring cap.
 
-    def __init__(self, *, enabled: bool = True) -> None:
+    Attributes:
+        enabled: Whether :meth:`record` stores anything. Hot paths check
+            this flag before building record details.
+        cap: Maximum records retained (``None`` = unbounded).
+        dropped_records: Records evicted because the ring was full.
+    """
+
+    def __init__(self, *, enabled: bool = True, cap: int | None = None) -> None:
+        if cap is not None and cap < 1:
+            raise ConfigurationError(f"trace cap must be >= 1, got {cap}")
         self.enabled = enabled
+        self.cap = cap
+        self.dropped_records = 0
         self._records: list[TraceRecord] = []
+        #: Next overwrite position once the ring is full.
+        self._next = 0
 
     def __len__(self) -> int:
         return len(self._records)
@@ -47,25 +69,43 @@ class TraceRecorder:
     def record(
         self, time: SimTime, category: str, process: int, detail: Any = None
     ) -> None:
-        """Append a record if tracing is enabled."""
-        if self.enabled:
+        """Append a record if tracing is enabled (evicting the oldest
+        record once the ring is at capacity)."""
+        if not self.enabled:
+            return
+        if self.cap is not None and len(self._records) >= self.cap:
+            self._records[self._next] = TraceRecord(time, category, process, detail)
+            self._next += 1
+            if self._next == self.cap:
+                self._next = 0
+            self.dropped_records += 1
+        else:
             self._records.append(TraceRecord(time, category, process, detail))
+
+    def records(self) -> list[TraceRecord]:
+        """All retained records, oldest first (unwinds the ring)."""
+        if self.cap is not None and self.dropped_records and self._next:
+            return self._records[self._next :] + self._records[: self._next]
+        return list(self._records)
 
     def select(self, category_prefix: str) -> Iterator[TraceRecord]:
         """Iterate records whose category starts with *category_prefix*."""
         return (
             record
-            for record in self._records
+            for record in self.records()
             if record.category.startswith(category_prefix)
         )
 
     def count(self, category_prefix: str) -> int:
-        """Number of records under *category_prefix*."""
+        """Number of retained records under *category_prefix*."""
         return sum(1 for _ in self.select(category_prefix))
 
     def clear(self) -> None:
-        """Discard all records (e.g. at the end of warm-up)."""
+        """Discard all records and the drop counter (e.g. at the end of
+        warm-up, so reports describe the measurement window only)."""
         self._records.clear()
+        self._next = 0
+        self.dropped_records = 0
 
 
 class NullTraceRecorder(TraceRecorder):

@@ -50,7 +50,7 @@ from repro.stack.actions import (
     SendToAll,
     StartTimer,
 )
-from repro.stack.events import AdeliverIndication, Event
+from repro.stack.events import AbcastRequest, AdeliverIndication, Event
 from repro.stack.interface import AdeliverListener
 from repro.stack.module import Microprotocol
 from repro.types import SimTime
@@ -82,6 +82,9 @@ class ProcessRuntime:
         "_fd",
         "_sends_until_crash",
         "_last_sent_payload",
+        "layer_busy",
+        "boundary_busy",
+        "boundary_crossings",
     )
 
     def __init__(
@@ -141,6 +144,19 @@ class ProcessRuntime:
             )
             self._crossing_extra[module.name] = height * costs.boundary_crossing
 
+        #: Always-on latency attribution (see :mod:`repro.obs`): CPU
+        #: seconds charged inside each layer, plus the two pseudo-layers
+        #: ``fd`` (failure-detector work) and ``app`` (adeliver
+        #: upcalls). Pure observation — never read back into timing, so
+        #: metrics are bit-identical with or without tracing.
+        self.layer_busy: dict[str, float] = {m.name: 0.0 for m in modules}
+        self.layer_busy["fd"] = 0.0
+        self.layer_busy["app"] = 0.0
+        #: CPU seconds charged to inter-module boundary crossings.
+        self.boundary_busy = 0.0
+        #: Number of boundary crossings charged.
+        self.boundary_crossings = 0
+
         self._timers: dict[tuple[str, str], ScheduledEvent] = {}
         self._adeliver_listener: AdeliverListener | None = None
         self._fd: Any = None
@@ -199,8 +215,18 @@ class ProcessRuntime:
         """Deliver *event* from the application to the top module."""
         if not self.alive:
             return
-        self.cpu.execute(self.costs.dispatch)
+        done = self.cpu.execute(self.costs.dispatch)
         top = self._modules[0]
+        self._charge(top.name, self.costs.dispatch)
+        if self._trace.enabled:
+            dispatch = self.costs.dispatch
+            self._trace.record(
+                done - dispatch, "span.inject", self.pid, (top.name, dispatch)
+            )
+            if type(event) is AbcastRequest:
+                self._trace.record(
+                    done, "abcast.submit", self.pid, event.message.msg_id
+                )
         self._execute_actions(top, top.handle_event(event))
 
     # ------------------------------------------------------------------
@@ -246,6 +272,7 @@ class ProcessRuntime:
             return
         self._trace.record(self.kernel.now, "fd.change", self.pid, suspects)
         self.cpu.execute(self.costs.dispatch)
+        self.layer_busy["fd"] += self.costs.dispatch
         for module in self._modules:
             if not self.alive:
                 return
@@ -265,7 +292,9 @@ class ProcessRuntime:
             payload_size=payload_size,
             header_size=header,
         )
-        done = self.cpu.execute(self.costs.send_cost(message.wire_size))
+        cost = self.costs.send_cost(message.wire_size)
+        done = self.cpu.execute(cost)
+        self.layer_busy["fd"] += cost
         self.network.transmit(message, done)
 
     def fd_schedule(self, delay: float, callback: Callable[[], None]) -> ScheduledEvent:
@@ -289,7 +318,12 @@ class ProcessRuntime:
             if self._fd is None:
                 raise ProtocolError(f"p{self.pid} got FD message without an FD")
             cost = self.costs.recv_cost(message.wire_size)
-            self.cpu.execute(cost, partial(self._dispatch_fd_message, message))
+            done = self.cpu.execute(cost, partial(self._dispatch_fd_message, message))
+            self.layer_busy["fd"] += cost
+            if self._trace.enabled:
+                self._trace.record(
+                    done - cost, "span.recv", self.pid, ("fd", cost, message.kind)
+                )
             return
         module = self._by_name.get(name)
         if module is None:
@@ -299,13 +333,22 @@ class ProcessRuntime:
         # Same expression as recv_cost(wire) + height*boundary + dispatch,
         # with the height product precomputed (identical association).
         costs = self.costs
+        extra = self._crossing_extra[name]
         cost = (
             costs.recv_fixed
             + costs.recv_per_byte * message.wire_size
-            + self._crossing_extra[name]
+            + extra
             + costs.dispatch
         )
-        self.cpu.execute(cost, partial(self._dispatch_message, module, message))
+        done = self.cpu.execute(cost, partial(self._dispatch_message, module, message))
+        self.layer_busy[name] += cost - extra
+        if extra:
+            self.boundary_busy += extra
+            self.boundary_crossings += self._height[name]
+        if self._trace.enabled:
+            self._trace.record(
+                done - cost, "span.recv", self.pid, (name, cost, message.kind)
+            )
 
     def _dispatch_fd_message(self, message: NetMessage) -> None:
         if self.alive and self._fd is not None:
@@ -319,6 +362,11 @@ class ProcessRuntime:
     # ------------------------------------------------------------------
     # Action execution
     # ------------------------------------------------------------------
+
+    def _charge(self, layer: str, seconds: float) -> None:
+        # Attribution for paths where the module may have been renamed
+        # behind the runtime's back (white-box tests).
+        self.layer_busy[layer] = self.layer_busy.get(layer, 0.0) + seconds
 
     def _run_handler(self, module: Microprotocol, thunk: Callable[[], list[Action]]) -> None:
         actions = thunk()
@@ -385,8 +433,16 @@ class ProcessRuntime:
         cost = costs.send_fixed + costs.send_per_byte * wire
         if first_copy:
             cost += costs.serialize_per_byte * wire
+        self._charge(name, cost)
+        if extra:
+            self.boundary_busy += extra
+            self.boundary_crossings += self._height[name]
         cost = cost + extra
         done = self.cpu.execute(cost)
+        if self._trace.enabled:
+            self._trace.record(
+                done - cost, "span.send", self.pid, (name, cost, kind, dst)
+            )
         self.network.transmit(message, done)
         if self._sends_until_crash is not None:
             self._sends_until_crash -= 1
@@ -407,7 +463,18 @@ class ProcessRuntime:
                 "the bottom of the stack"
             )
         target = self._modules[target_index]
-        self.cpu.execute(self.costs.boundary_crossing + self.costs.dispatch)
+        cost = self.costs.boundary_crossing + self.costs.dispatch
+        done = self.cpu.execute(cost)
+        self.boundary_busy += self.costs.boundary_crossing
+        self.boundary_crossings += 1
+        self._charge(target.name, self.costs.dispatch)
+        if self._trace.enabled:
+            self._trace.record(
+                done - cost,
+                "span.cross",
+                self.pid,
+                ("boundary", cost, module.name, target.name),
+            )
         self._execute_actions(target, target.handle_event(event))
 
     def _deliver_to_application(self, event: Event) -> None:
@@ -417,7 +484,14 @@ class ProcessRuntime:
                 "to the application"
             )
         when = self.cpu.execute(self.costs.adeliver)
+        self.layer_busy["app"] += self.costs.adeliver
         if self._trace.enabled:
+            self._trace.record(
+                when - self.costs.adeliver,
+                "span.adeliver",
+                self.pid,
+                ("app", self.costs.adeliver, event.message.msg_id),
+            )
             self._trace.record(when, "abcast.adeliver", self.pid, event.message.msg_id)
         if self._adeliver_listener is not None:
             self._adeliver_listener(self.pid, event.message, when)
@@ -444,6 +518,7 @@ class ProcessRuntime:
                 self.costs.dispatch,
                 lambda: self._fire_timer(module, action.name, action.payload),
             )
+            self._charge(module.name, self.costs.dispatch)
 
         handle = self.kernel.schedule_at(fire_at, _fire)
         self._timers[key] = handle

@@ -117,7 +117,7 @@ def test_live_command_routes_to_runner(monkeypatch, capsys):
 
     seen = {}
 
-    def fake_run_live(spec):
+    def fake_run_live(spec, observability=None):
         seen["spec"] = spec
         return {
             "mode": "live",
@@ -155,7 +155,9 @@ def test_live_json_output_is_parseable(monkeypatch, capsys):
     monkeypatch.setattr(
         deploy,
         "run_live",
-        lambda spec: {"mode": "live", "metrics": {"throughput": 1.0}},
+        lambda spec, observability=None: {
+            "mode": "live", "metrics": {"throughput": 1.0}
+        },
     )
     assert cli.main(["live", "--json"]) == 0
     document = json.loads(capsys.readouterr().out)

@@ -1,0 +1,35 @@
+"""Shared traced runs for the observability tests.
+
+One traced simulation per stack kind, session-scoped: the span/
+attribution/perfetto tests all assert on the same pair of runs instead
+of re-simulating per test.
+"""
+
+import pytest
+
+from repro.config import RunConfig, WorkloadConfig, stack_from_label
+from repro.experiments.runner import run_simulation
+from repro.sim.tracing import TraceRecorder
+
+
+def traced_run(label, *, seed=1, duration=0.5, warmup=0.1):
+    trace = TraceRecorder()
+    config = RunConfig(
+        n=3,
+        stack=stack_from_label(label),
+        workload=WorkloadConfig(offered_load=50.0, message_size=512),
+        duration=duration,
+        warmup=warmup,
+    )
+    result = run_simulation(config, seed=seed, trace=trace)
+    return result, trace
+
+
+@pytest.fixture(scope="session")
+def modular_run():
+    return traced_run("modular")
+
+
+@pytest.fixture(scope="session")
+def monolithic_run():
+    return traced_run("monolithic")

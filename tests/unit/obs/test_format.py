@@ -1,0 +1,59 @@
+"""Rendering of nemesis trace slices and per-message timelines."""
+
+from repro.net.message import NetMessage
+from repro.obs.format import format_message_path, format_trace_slice
+from repro.sim.tracing import TraceRecord
+from repro.types import MessageId
+
+
+class TestTraceSlice:
+    def test_classifies_events_into_layers(self):
+        lines = [
+            "t=1.250000 p0 adeliver m(0,1)",
+            "t=1.251000 p1 decide instance 4",
+            "t=1.252000 p2 rdeliver batch",
+            "t=1.300000 fault: partition {0} | {1,2}",
+            "t=1.400000 VIOLATION agreement broken",
+        ]
+        out = format_trace_slice(lines)
+        rows = out.splitlines()
+        assert rows[0].split() == ["t", "proc", "layer", "event"]
+        assert "abcast" in rows[1] and "p0" in rows[1]
+        assert "consensus" in rows[2]
+        assert "rbcast" in rows[3]
+        assert "fault" in rows[4]
+        assert "violation" in rows[5]
+
+    def test_unparseable_lines_pass_through(self):
+        out = format_trace_slice(["not a trace line"])
+        assert "not a trace line" in out
+
+
+class TestMessagePath:
+    def records(self):
+        msg = MessageId(0, 3)
+        net = NetMessage(
+            kind="seq", module="abcast", src=0, dst=1, payload=None,
+            payload_size=512, header_size=24,
+        )
+        return [
+            TraceRecord(0.100, "abcast.submit", 0, msg),
+            TraceRecord(0.1004, "net.send", 0, net),
+            TraceRecord(0.1009, "net.recv", 1, net),
+            TraceRecord(0.101, "span.adeliver", 1, ("app", 1e-05, msg)),
+            TraceRecord(0.101, "abcast.adeliver", 1, msg),
+        ]
+
+    def test_timeline_rows_and_deltas(self):
+        out = format_message_path(self.records())
+        rows = out.splitlines()
+        assert rows[0].split()[:3] == ["t", "(ms)", "+µs"]
+        assert "submit" in rows[1]
+        assert "seq" in rows[2] and "p0->p1" in rows[2]
+        assert "adeliver upcall in app" in rows[4]
+        assert "adeliver" in rows[5]
+        # Delta column: second row is +400µs after the submit.
+        assert "+400" in rows[2]
+
+    def test_empty_path_reads_as_such(self):
+        assert "no records" in format_message_path([])

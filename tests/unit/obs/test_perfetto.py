@@ -1,0 +1,100 @@
+"""Chrome-trace export: structure, validation and file round-trip."""
+
+import json
+
+from repro.obs.perfetto import (
+    chrome_trace,
+    merge_traces,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.spans import Span, spans_from_trace
+
+SPANS = [
+    Span(name="recv", layer="abcast", process=0, start=0.001, duration=0.0005,
+         args=(("kind", "seq"),)),
+    Span(name="cross", layer="boundary", process=0, start=0.002, duration=0.0001,
+         args=(("from", "abcast"), ("to", "consensus"))),
+    Span(name="send", layer="consensus", process=1, start=0.003, duration=0.0002,
+         args=(("kind", "propose"), ("dst", 2))),
+]
+
+
+class TestChromeTrace:
+    def test_export_validates(self):
+        assert validate_chrome_trace(chrome_trace(SPANS)) == []
+
+    def test_complete_events_carry_microsecond_times(self):
+        document = chrome_trace(SPANS)
+        events = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == len(SPANS)
+        recv = next(e for e in events if e["name"] == "recv")
+        assert recv["ts"] == 1000.0 and recv["dur"] == 500.0
+        assert recv["cat"] == "abcast"
+        assert recv["args"] == {"kind": "seq"}
+
+    def test_one_thread_track_per_process_layer(self):
+        document = chrome_trace(SPANS)
+        threads = [
+            e for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert {(t["pid"], t["args"]["name"]) for t in threads} == {
+            (0, "abcast"), (0, "boundary"), (1, "consensus"),
+        }
+
+    def test_pid_offset_and_names_group_stacks(self):
+        document = chrome_trace(
+            SPANS, pid_offset=100, process_names={100: "modular/p0"}
+        )
+        pids = {e["pid"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert pids == {100, 101}
+        names = {
+            e["pid"]: e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names[100] == "modular/p0"
+        assert names[101] == "p101"
+
+    def test_real_trace_exports_clean(self, modular_run):
+        __, trace = modular_run
+        document = chrome_trace(spans_from_trace(trace))
+        assert validate_chrome_trace(document) == []
+
+
+class TestValidation:
+    def test_rejects_non_documents(self):
+        assert validate_chrome_trace([]) == ["document is not a JSON object"]
+        assert validate_chrome_trace({}) == ["missing or non-array traceEvents"]
+
+    def test_rejects_malformed_events(self):
+        document = {
+            "traceEvents": [
+                {"ph": "B", "name": "x", "pid": 0, "tid": 0},
+                {"ph": "X", "name": "", "pid": 0, "tid": 0, "ts": 0, "dur": 0,
+                 "cat": "c"},
+                {"ph": "X", "name": "x", "pid": "0", "tid": 0, "ts": -1.0,
+                 "dur": 0, "cat": "c"},
+                "not-an-object",
+            ]
+        }
+        errors = validate_chrome_trace(document)
+        assert any("phase" in e for e in errors)
+        assert any("missing name" in e for e in errors)
+        assert any("pid is not an integer" in e for e in errors)
+        assert any("ts is negative" in e for e in errors)
+        assert any("not an object" in e for e in errors)
+
+
+def test_merge_concatenates_documents():
+    merged = merge_traces([chrome_trace(SPANS[:1]), chrome_trace(SPANS[1:])])
+    assert validate_chrome_trace(merged) == []
+    names = [e["name"] for e in merged["traceEvents"] if e["ph"] == "X"]
+    assert names == ["recv", "cross", "send"]
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    target = write_chrome_trace(tmp_path / "trace.json", SPANS)
+    document = json.loads(target.read_text(encoding="utf-8"))
+    assert validate_chrome_trace(document) == []

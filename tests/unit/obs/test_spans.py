@@ -1,0 +1,127 @@
+"""Span extraction, schema validation and the span-balance invariant."""
+
+from repro.obs.spans import (
+    SPAN_ARG_KEYS,
+    adelivers,
+    message_path,
+    span_balance,
+    spans_from_serialized,
+    spans_from_trace,
+    submits,
+    validate_spans,
+)
+from repro.sim.tracing import TraceRecorder
+from repro.types import MessageId
+
+
+class TestExtraction:
+    def test_traced_run_emits_spans(self, modular_run):
+        __, trace = modular_run
+        spans = spans_from_trace(trace)
+        assert spans
+        assert {s.name for s in spans} <= set(SPAN_ARG_KEYS)
+
+    def test_spans_conform_to_schema(self, modular_run):
+        __, trace = modular_run
+        assert validate_spans(spans_from_trace(trace)) == []
+
+    def test_span_starts_and_durations_nonnegative(self, modular_run):
+        __, trace = modular_run
+        for span in spans_from_trace(trace):
+            assert span.start >= 0.0
+            assert span.duration >= 0.0
+
+    def test_all_span_kinds_observed(self, modular_run):
+        __, trace = modular_run
+        # A modular stack under load exercises the full schema: inject,
+        # receive, send, boundary crossing and adeliver upcall.
+        assert {s.name for s in spans_from_trace(trace)} == set(SPAN_ARG_KEYS)
+
+    def test_serialized_roundtrip_matches_in_memory(self, modular_run):
+        __, trace = modular_run
+        rows = [
+            [r.time, r.category, r.process, list(r.detail)]
+            for r in trace.select("span.")
+        ]
+        assert spans_from_serialized(rows) == spans_from_trace(trace)
+
+    def test_serialized_rows_skip_non_span_categories(self):
+        rows = [
+            [0.5, "abcast.submit", 0, [0, 1]],
+            [0.6, "span.recv", 1, ["abcast", 0.001, "seq"]],
+        ]
+        [span] = spans_from_serialized(rows)
+        assert span.name == "recv"
+        assert span.layer == "abcast"
+        assert span.args == (("kind", "seq"),)
+
+
+class TestValidation:
+    def test_rejects_unknown_name_and_bad_args(self):
+        rows = [
+            [0.0, "span.teleport", 0, ["abcast", 0.001]],
+            [0.0, "span.recv", 0, ["abcast", 0.001]],  # missing kind
+            [0.0, "span.recv", 0, ["abcast", -0.5, "seq"]],
+        ]
+        errors = validate_spans(spans_from_serialized(rows))
+        assert len(errors) == 3
+        assert "unknown span name" in errors[0]
+        assert "schema" in errors[1]
+        assert "negative duration" in errors[2]
+
+
+class TestBalance:
+    def test_healthy_run_is_balanced(self, modular_run):
+        result, trace = modular_run
+        assert span_balance(
+            trace, correct=range(result.config.n), before=0.3
+        ) == []
+
+    def test_markers_are_paired(self, modular_run):
+        result, trace = modular_run
+        submitted = {m for __, __, m in submits(trace)}
+        delivered = {m for __, __, m in adelivers(trace)}
+        assert delivered <= submitted
+
+    def test_double_delivery_detected(self):
+        trace = TraceRecorder()
+        msg = MessageId(0, 0)
+        trace.record(0.0, "abcast.submit", 0, msg)
+        trace.record(0.1, "abcast.adeliver", 1, msg)
+        trace.record(0.2, "abcast.adeliver", 1, msg)
+        [error] = span_balance(trace)
+        assert "twice" in error
+
+    def test_delivery_without_submit_detected(self):
+        trace = TraceRecorder()
+        trace.record(0.1, "abcast.adeliver", 2, MessageId(0, 7))
+        [error] = span_balance(trace)
+        assert "without a submit" in error
+
+    def test_missing_delivery_detected(self):
+        trace = TraceRecorder()
+        msg = MessageId(0, 0)
+        trace.record(0.0, "abcast.submit", 0, msg)
+        trace.record(0.1, "abcast.adeliver", 0, msg)
+        [error] = span_balance(trace, correct={0, 1}, before=1.0)
+        assert "never adelivered" in error and "[1]" in error
+
+    def test_dropped_records_make_balance_unprovable(self):
+        trace = TraceRecorder(cap=1)
+        trace.record(0.0, "abcast.submit", 0, MessageId(0, 0))
+        trace.record(0.1, "abcast.submit", 0, MessageId(0, 1))
+        [finding] = span_balance(trace)
+        assert "dropped" in finding and "--trace-cap" in finding
+
+
+class TestMessagePath:
+    def test_path_is_time_ordered_and_complete(self, modular_run):
+        __, trace = modular_run
+        t0, __, msg = sorted(submits(trace))[0]
+        path = message_path(trace, msg)
+        times = [r.time for r in path]
+        assert times == sorted(times)
+        categories = {r.category for r in path}
+        assert "abcast.submit" in categories
+        assert "abcast.adeliver" in categories
+        assert any(c.startswith("net.") for c in categories)

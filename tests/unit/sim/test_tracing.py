@@ -1,5 +1,8 @@
 """Unit tests for the trace recorder."""
 
+import pytest
+
+from repro.errors import ConfigurationError
 from repro.sim.tracing import NullTraceRecorder, TraceRecorder
 
 
@@ -48,3 +51,60 @@ def test_record_fields_roundtrip():
     assert record.time == 3.5
     assert record.process == 2
     assert record.detail == frozenset({1})
+
+
+class TestRingBuffer:
+    def test_below_cap_behaves_append_only(self):
+        trace = TraceRecorder(cap=5)
+        for i in range(3):
+            trace.record(float(i), "x", 0, i)
+        assert len(trace) == 3
+        assert trace.dropped_records == 0
+        assert [r.detail for r in trace.records()] == [0, 1, 2]
+
+    def test_cap_evicts_oldest_and_counts_drops(self):
+        trace = TraceRecorder(cap=3)
+        for i in range(5):
+            trace.record(float(i), "x", 0, i)
+        assert len(trace) == 3
+        assert trace.dropped_records == 2
+        assert [r.detail for r in trace.records()] == [2, 3, 4]
+
+    def test_records_unwinds_after_full_wraparound(self):
+        trace = TraceRecorder(cap=3)
+        for i in range(7):
+            trace.record(float(i), "x", 0, i)
+        # 7 records through a cap-3 ring: kept 4, 5, 6 in time order.
+        assert [r.detail for r in trace.records()] == [4, 5, 6]
+        assert trace.dropped_records == 4
+
+    def test_select_respects_ring_order(self):
+        trace = TraceRecorder(cap=2)
+        trace.record(0.0, "a.one", 0)
+        trace.record(1.0, "b.two", 0)
+        trace.record(2.0, "a.three", 0)
+        assert [r.category for r in trace.select("a")] == ["a.three"]
+        assert trace.count("b") == 1
+
+    def test_clear_resets_ring_state(self):
+        trace = TraceRecorder(cap=2)
+        for i in range(5):
+            trace.record(float(i), "x", 0, i)
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.dropped_records == 0
+        trace.record(9.0, "x", 0, "fresh")
+        assert [r.detail for r in trace.records()] == ["fresh"]
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(cap=0)
+        with pytest.raises(ConfigurationError):
+            TraceRecorder(cap=-1)
+
+    def test_unbounded_recorder_never_drops(self):
+        trace = TraceRecorder()
+        for i in range(1000):
+            trace.record(float(i), "x", 0)
+        assert len(trace) == 1000
+        assert trace.dropped_records == 0

@@ -32,6 +32,7 @@ def test_version_is_a_string():
         "repro.metrics",
         "repro.analysis",
         "repro.experiments",
+        "repro.obs",
     ],
 )
 def test_subpackages_import_and_export(module):
